@@ -1,0 +1,93 @@
+// Reproduction of paper Fig. 4: weak scaling of the core p4est algorithms
+// on a six-octree forest with fractal refinement (recursively subdividing
+// children 0, 3, 5, 6), approximately constant octants per rank.
+//
+// The paper scales 12 -> 220,320 Cray XT5 cores at ~2.3 M octants/core and
+// reports (a) the share of runtime per algorithm — Balance and Nodes
+// dominate with > 90%, New/Refine/Partition negligible — and (b) Balance /
+// Nodes seconds normalized by (million octants per rank), which rise only
+// mildly (~6 s -> 8–9 s, i.e. 65–72% parallel efficiency over 18360x).
+// Here ranks are simulated (threads) and the per-rank load is reduced; the
+// shape claims are the reproduction target (see EXPERIMENTS.md).
+#include <cinttypes>
+#include <cmath>
+
+#include "bench_util.h"
+#include "forest/nodes.h"
+
+using namespace esamr;
+using esamr::bench::timed_max;
+
+namespace {
+
+struct Row {
+  int ranks;
+  std::int64_t elements;
+  double t_new, t_refine, t_partition, t_balance, t_ghost, t_nodes;
+};
+
+Row run_case(int nranks, std::int64_t target_per_rank) {
+  Row row{};
+  row.ranks = nranks;
+  par::run(nranks, [&](par::Comm& comm) {
+    const auto conn = forest::Connectivity<3>::rotcubes();
+    std::unique_ptr<forest::Forest<3>> f;
+    row.t_new = timed_max(comm, [&] {
+      f = std::make_unique<forest::Forest<3>>(forest::Forest<3>::new_uniform(comm, &conn, 1));
+    });
+    // Fractal refinement rounds (children 0, 3, 5, 6) until the target size.
+    double t_ref = 0.0;
+    int level = 1;
+    while (f->num_global() < target_per_rank * nranks && level < 12) {
+      t_ref += timed_max(comm, [&] {
+        f->refine(level + 1, false, [&](int, const forest::Octant<3>& o) {
+          const int id = o.child_id();
+          return o.level == level && (id == 0 || id == 3 || id == 5 || id == 6);
+        });
+      });
+      ++level;
+    }
+    row.t_refine = t_ref;
+    row.t_partition = timed_max(comm, [&] { f->partition(); });
+    row.t_balance = timed_max(comm, [&] { f->balance(); });
+    std::unique_ptr<forest::GhostLayer<3>> g;
+    row.t_ghost = timed_max(
+        comm, [&] { g = std::make_unique<forest::GhostLayer<3>>(forest::GhostLayer<3>::build(*f)); });
+    row.t_nodes = timed_max(comm, [&] { forest::NodeNumbering<3>::build(*f, *g); });
+    row.elements = f->num_global();
+  });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t per_rank = argc > 1 ? std::atoll(argv[1]) : 6000;
+  std::printf("=== Fig. 4: weak scaling of the forest algorithms (rotcubes, fractal) ===\n");
+  std::printf("paper: 12..220320 cores, 2.3M oct/core; Balance+Nodes > 90%% of runtime,\n");
+  std::printf("       normalized Balance ~6->9 s/(M oct/rank) over a 18360x scale-up\n\n");
+  std::printf("%6s %10s %9s | %6s %6s %6s %6s %6s %6s | %9s %9s\n", "ranks", "elements",
+              "elem/rank", "New%", "Refin%", "Part%", "Bal%", "Ghost%", "Nodes%", "bal_norm",
+              "nod_norm");
+  std::vector<std::array<double, 2>> norms;
+  for (const int p : {1, 2, 4, 8, 16}) {
+    const Row r = run_case(p, per_rank);
+    const double total =
+        r.t_new + r.t_refine + r.t_partition + r.t_balance + r.t_ghost + r.t_nodes;
+    const double mper = static_cast<double>(r.elements) / r.ranks / 1e6;
+    const double bal_norm = r.t_balance / mper;
+    const double nod_norm = r.t_nodes / mper;
+    norms.push_back({bal_norm, nod_norm});
+    std::printf("%6d %10" PRId64 " %9" PRId64 " | %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f | %9.3f %9.3f\n",
+                r.ranks, r.elements, r.elements / r.ranks, 100.0 * r.t_new / total,
+                100.0 * r.t_refine / total, 100.0 * r.t_partition / total,
+                100.0 * r.t_balance / total, 100.0 * r.t_ghost / total, 100.0 * r.t_nodes / total,
+                bal_norm, nod_norm);
+  }
+  std::printf("\nparallel efficiency first->last rank count: Balance %.0f%%, Nodes %.0f%%\n",
+              100.0 * norms.front()[0] / norms.back()[0],
+              100.0 * norms.front()[1] / norms.back()[1]);
+  std::printf("(bal_norm / nod_norm = seconds per million octants per rank; ideal weak\n");
+  std::printf(" scaling = constant columns, matching the paper's flat bars)\n");
+  return 0;
+}

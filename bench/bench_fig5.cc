@@ -1,0 +1,88 @@
+// Reproduction of paper Fig. 5: weak scaling of the dynamically adapted dG
+// advection solve on the 24-octree spherical shell (order-3 elements, mesh
+// coarsened/refined and repartitioned periodically).
+//
+// The paper runs 12 -> 220,320 cores at ~3200 tricubic elements/core and
+// reports (a) the AMR share of end-to-end runtime, growing from 7% to 27%,
+// and (b) 70% end-to-end parallel efficiency over 18360x. Ranks here are
+// simulated threads; per-rank busy time is the scaling metric and the
+// target is the shape: AMR stays a modest fraction that grows with rank
+// count, and per-element cost stays near-flat.
+#include <cinttypes>
+#include <cmath>
+
+#include "bench_util.h"
+#include "sfem/dg_advection.h"
+
+using namespace esamr;
+
+namespace {
+
+struct Row {
+  int ranks;
+  std::int64_t elements;
+  double amr, solve;
+  int steps;
+};
+
+Row run_case(int nranks, int max_level, int nsteps) {
+  Row row{};
+  row.ranks = nranks;
+  row.steps = nsteps;
+  par::run(nranks, [&](par::Comm& comm) {
+    const auto conn = forest::Connectivity<3>::shell();
+    sfem::AmrAdvectionDriver<3> driver(
+        comm, &conn, sfem::shell_map(),
+        [](const std::array<double, 3>& x) {
+          return std::array<double, 3>{-x[1], x[0], 0.0};
+        },
+        /*degree=*/3, /*initial_level=*/1, max_level);
+    const auto fronts = [](const std::array<double, 3>& x) {
+      double v = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        const double phi = 2.0 * M_PI * k / 4.0;
+        const double cx = 0.78 * std::cos(phi), cy = 0.78 * std::sin(phi);
+        const double d2 = (x[0] - cx) * (x[0] - cx) + (x[1] - cy) * (x[1] - cy) + x[2] * x[2];
+        v += std::exp(-60.0 * d2);
+      }
+      return v;
+    };
+    driver.initialize(fronts, 2, 0.05, 0.015);
+    // The paper re-adapts every 32 steps; we use 16 at this reduced scale.
+    driver.run(nsteps, /*adapt_every=*/16, 0.35, 0.05, 0.015);
+    comm.barrier();
+    row.amr = comm.allreduce(driver.amr_seconds(), par::ReduceOp::max);
+    row.solve = comm.allreduce(driver.solve_seconds(), par::ReduceOp::max);
+    row.elements = driver.forest().num_global();
+  });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nsteps = argc > 1 ? std::atoi(argv[1]) : 32;
+  std::printf("=== Fig. 5: weak scaling of dynamically adapted dG advection (24-tree shell) ===\n");
+  std::printf("paper: 12..220320 cores, 3200 tricubic elem/core, adapt every 32 steps;\n");
+  std::printf("       AMR overhead 7%% -> 27%%, end-to-end parallel efficiency 70%%\n\n");
+  std::printf("%6s %10s %10s | %9s %9s %8s | %12s %8s\n", "ranks", "elements", "elem/rank",
+              "AMR(s)", "solve(s)", "AMR%", "us/el/step", "par-eff");
+  double base_cost = 0.0;
+  // The adapted mesh size is set by the fronts, not the rank count; weak
+  // scaling holds the per-rank load roughly constant by deepening the mesh
+  // with the rank count.
+  const int levels[4] = {2, 2, 3, 3};
+  const int ranks[4] = {1, 2, 4, 8};
+  for (int i = 0; i < 4; ++i) {
+    const Row r = run_case(ranks[i], levels[i], nsteps);
+    const double total = r.amr + r.solve;
+    const double per = 1e6 * total / (static_cast<double>(r.elements) / r.ranks) / r.steps;
+    if (i == 0) base_cost = per;
+    std::printf("%6d %10" PRId64 " %10" PRId64 " | %9.2f %9.2f %7.1f%% | %12.2f %7.0f%%\n",
+                r.ranks, r.elements, r.elements / r.ranks, r.amr, r.solve, 100.0 * r.amr / total,
+                per, 100.0 * base_cost / per);
+  }
+  std::printf("\n(us/el/step = max-rank busy time per element per step; par-eff is its\n");
+  std::printf(" ratio to the 1-rank case — the end-to-end efficiency of the paper's Fig. 5)\n");
+  return 0;
+}

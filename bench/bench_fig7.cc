@@ -1,0 +1,67 @@
+// Reproduction of paper Fig. 7: runtime percentages for the adaptive
+// solution of the global mantle flow problem — time in all solver
+// operations (residuals, Picard operator construction, Krylov iterations),
+// the AMG V-cycle, and all AMR components (Refine/Coarsen, Balance,
+// Partition, Ghost, Nodes, error indicators, solution transfer).
+//
+// Paper values (13.8K / 27.6K / 55.1K cores):
+//   solve   33.6% / 21.7% / 16.3%
+//   V-cycle 66.2% / 78.0% / 83.4%
+//   AMR      0.07% / 0.10% / 0.12%
+// The reproduction target is the shape: the V-cycle dominates, and AMR is
+// orders of magnitude below the solver.
+#include <cinttypes>
+#include <cstdio>
+
+#include "apps/mantle.h"
+
+using namespace esamr;
+
+int main(int argc, char** argv) {
+  const int max_level = argc > 1 ? std::atoi(argv[1]) : 5;
+  std::printf("=== Fig. 7: mantle convection runtime shares (Rhea substitute) ===\n");
+  std::printf("paper (13.8K/27.6K/55.1K cores): solve 33.6/21.7/16.3%%,\n");
+  std::printf("V-cycle 66.2/78.0/83.4%%, AMR 0.07/0.10/0.12%%\n\n");
+  std::printf("%6s %6s %10s %8s | %8s %8s %8s\n", "ranks", "size", "elements", "minres",
+              "solve%", "vcycle%", "AMR%");
+  // The paper's 0.07-0.12%% AMR share comes from a 150M-element, 1e9-dof
+  // problem; at laptop scale the same trend appears as a decreasing AMR
+  // share with problem size (the "size" column below) at fixed ranks,
+  // followed by the rank sweep at the largest size.
+  struct Case {
+    int ranks, size;
+  };
+  const Case cases[] = {{2, 0}, {2, 1}, {2, 2}, {1, 2}, {4, 2}};
+  for (const auto [p, size] : cases) {
+    apps::MantleOptions opt;
+    opt.base_level = 2;
+    opt.max_level = max_level + size;
+    opt.temperature_max_level = 3 + size;
+    opt.static_adapt_rounds = 3 + size;
+    opt.picard_iterations = 4;
+    opt.adapt_every = 2;
+    opt.minres_rtol = 1e-7;
+    opt.rheology.plate_boundaries = {0.7, 2.2, 3.9, 5.3};
+    opt.temperature.slab_angles = {0.7, 3.9};
+    double amr = 0.0, solve = 0.0, vcyc = 0.0;
+    std::int64_t elements = 0;
+    int iters = 0;
+    par::run(p, [&](par::Comm& comm) {
+      apps::MantleSimulation sim(comm, opt);
+      sim.run();
+      comm.barrier();
+      amr = comm.allreduce(sim.amr_seconds(), par::ReduceOp::max);
+      solve = comm.allreduce(sim.solve_seconds(), par::ReduceOp::max);
+      vcyc = comm.allreduce(sim.vcycle_seconds(), par::ReduceOp::max);
+      elements = sim.num_elements();
+      iters = sim.total_minres_iterations();
+    });
+    const double total = amr + solve + vcyc;
+    std::printf("%6d %6d %10" PRId64 " %8d | %7.1f%% %7.1f%% %7.2f%%\n", p, size, elements,
+                iters, 100.0 * solve / total, 100.0 * vcyc / total, 100.0 * amr / total);
+  }
+  std::printf("\n(V-cycle dominates and the AMR share falls rapidly with problem size —\n");
+  std::printf(" the trend behind the paper's 0.1%% at 150M elements / 1e9 dofs; the exact\n");
+  std::printf(" solve/V-cycle split depends on the preconditioner configuration)\n");
+  return 0;
+}

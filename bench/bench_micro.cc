@@ -1,0 +1,146 @@
+// Google-benchmark micro benchmarks for the building blocks: octant
+// primitives, the forest algorithms at fixed size, and the dG kernels —
+// including the double vs float elastic kernel ratio that stands in for the
+// paper's §IV-B GPU speedup discussion (a real ~50x needs a real GPU).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "forest/nodes.h"
+#include "sfem/dg_advection.h"
+#include "sfem/dg_elastic.h"
+
+using namespace esamr;
+
+namespace {
+
+std::vector<forest::Octant<3>> random_octants(int n) {
+  std::mt19937_64 rng(42);
+  std::vector<forest::Octant<3>> v;
+  for (int i = 0; i < n; ++i) {
+    forest::Octant<3> o;
+    o.level = static_cast<std::int8_t>(2 + rng() % 8);
+    const std::int32_t h = o.size();
+    for (int a = 0; a < 3; ++a) {
+      o.set_coord(a, static_cast<std::int32_t>(rng() % (forest::Octant<3>::root_len / h)) * h);
+    }
+    v.push_back(o);
+  }
+  return v;
+}
+
+void bm_morton_key(benchmark::State& state) {
+  const auto octs = random_octants(1024);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& o : octs) acc ^= o.key();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(bm_morton_key);
+
+void bm_face_neighbors(benchmark::State& state) {
+  const auto octs = random_octants(1024);
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const auto& o : octs) {
+      for (int f = 0; f < 6; ++f) acc += o.face_neighbor(f).x;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * 6);
+}
+BENCHMARK(bm_face_neighbors);
+
+/// One forest build + fractal refine + 2:1 balance (serial rank).
+void bm_balance(benchmark::State& state) {
+  const auto conn = forest::Connectivity<3>::rotcubes();
+  const int depth = static_cast<int>(state.range(0));
+  std::int64_t elements = 0;
+  for (auto _ : state) {
+    par::run(1, [&](par::Comm& comm) {
+      auto f = forest::Forest<3>::new_uniform(comm, &conn, 1);
+      for (int l = 1; l < depth; ++l) {
+        f.refine(l + 1, false, [&](int, const forest::Octant<3>& o) {
+          const int id = o.child_id();
+          return o.level == l && (id == 0 || id == 3 || id == 5 || id == 6);
+        });
+      }
+      f.balance();
+      elements = f.num_global();
+    });
+  }
+  state.counters["elements"] = static_cast<double>(elements);
+}
+BENCHMARK(bm_balance)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void bm_ghost_and_nodes(benchmark::State& state) {
+  const auto conn = forest::Connectivity<3>::rotcubes();
+  for (auto _ : state) {
+    par::run(2, [&](par::Comm& comm) {
+      auto f = forest::Forest<3>::new_uniform(comm, &conn, 2);
+      f.refine(3, false, [](int, const forest::Octant<3>& o) { return o.child_id() == 0; });
+      f.balance();
+      f.partition();
+      const auto g = forest::GhostLayer<3>::build(f);
+      const auto n = forest::NodeNumbering<3>::build(f, g);
+      benchmark::DoNotOptimize(n.num_global);
+    });
+  }
+  state.SetLabel("2 ranks, adaptive rotcubes");
+}
+BENCHMARK(bm_ghost_and_nodes)->Unit(benchmark::kMillisecond);
+
+/// dG advection RHS throughput (elements/second), serial.
+void bm_advection_rhs(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  par::run(1, [&](par::Comm& comm) {
+    const auto conn = forest::Connectivity<3>::brick({2, 2, 2}, {true, true, true});
+    auto f = forest::Forest<3>::new_uniform(comm, &conn, 1);
+    const auto g = forest::GhostLayer<3>::build(f);
+    const auto mesh = sfem::DgMesh<3>::build(f, g, degree, sfem::vertex_map<3>(conn));
+    sfem::Advection<3> adv(&mesh, [](const std::array<double, 3>&) {
+      return std::array<double, 3>{0.4, 0.3, 0.2};
+    });
+    std::vector<double> c(static_cast<std::size_t>(mesh.n_local) * mesh.nv, 1.0);
+    std::vector<double> out(c.size());
+    for (auto _ : state) {
+      adv.rhs(c, out);
+      benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * mesh.n_local);
+  });
+}
+BENCHMARK(bm_advection_rhs)->Arg(2)->Arg(3)->Arg(5);
+
+/// Elastic kernel: double vs float (the honest CPU stand-in for the paper's
+/// reported ~50x single-core-vs-GPU speedup; expect O(1), not 50x).
+template <typename Real>
+void bm_elastic_rhs(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  par::run(1, [&](par::Comm& comm) {
+    const auto conn = forest::Connectivity<3>::brick({2, 2, 2}, {true, true, true});
+    auto f = forest::Forest<3>::new_uniform(comm, &conn, 1);
+    const auto g = forest::GhostLayer<3>::build(f);
+    const auto mesh = sfem::DgMesh<3>::build(f, g, degree, sfem::vertex_map<3>(conn));
+    sfem::ElasticWave<3, Real> wave(&mesh, [](const std::array<double, 3>&) {
+      return sfem::Material{1.0, 2.0, 1.0};
+    });
+    auto q = wave.zero_state();
+    auto out = q;
+    for (auto _ : state) {
+      wave.rhs(q, out);
+      benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * mesh.n_local);
+  });
+}
+void bm_elastic_rhs_double(benchmark::State& s) { bm_elastic_rhs<double>(s); }
+void bm_elastic_rhs_float(benchmark::State& s) { bm_elastic_rhs<float>(s); }
+BENCHMARK(bm_elastic_rhs_double)->Arg(4);
+BENCHMARK(bm_elastic_rhs_float)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Shared helpers for the figure-reproduction benchmark drivers.
+//
+// All scaling metrics use per-rank *busy time* (thread CPU time) with a
+// max-reduction across ranks: the SPMD ranks are threads timesharing one
+// physical core in this environment, so wall-clock time would scale with
+// the rank count trivially. Busy time measures the per-rank work the paper's
+// per-core wall time measures (see DESIGN.md).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+
+#include "par/comm.h"
+
+namespace esamr::bench {
+
+/// Max-over-ranks busy seconds of a phase (synchronized start).
+inline double timed_max(par::Comm& comm, const std::function<void()>& fn) {
+  comm.barrier();
+  const double t0 = par::thread_cpu_seconds();
+  fn();
+  const double dt = par::thread_cpu_seconds() - t0;
+  return comm.allreduce(dt, par::ReduceOp::max);
+}
+
+/// Sum-over-ranks busy seconds (aggregate work).
+inline double timed_sum(par::Comm& comm, const std::function<void()>& fn) {
+  comm.barrier();
+  const double t0 = par::thread_cpu_seconds();
+  fn();
+  const double dt = par::thread_cpu_seconds() - t0;
+  return comm.allreduce(dt, par::ReduceOp::sum);
+}
+
+}  // namespace esamr::bench

@@ -1,0 +1,78 @@
+// Paper §III-B: dynamically adapted dG solution of the advection equation
+// on the 24-octree spherical shell. Four spherical fronts are advected by a
+// solid-body rotation; the mesh is coarsened/refined and repartitioned
+// every few steps to track them.
+//
+// Run: ./advection_shell [nranks] [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "io/vtk.h"
+#include "sfem/dg_advection.h"
+
+using namespace esamr;
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int nsteps = argc > 2 ? std::atoi(argv[2]) : 48;
+  par::run(nranks, [&](par::Comm& comm) {
+    const auto conn = forest::Connectivity<3>::shell();
+    sfem::AmrAdvectionDriver<3> driver(
+        comm, &conn, sfem::shell_map(),
+        [](const std::array<double, 3>& x) {
+          // Solid-body rotation about z: tangential at the shell boundaries.
+          return std::array<double, 3>{-x[1], x[0], 0.0};
+        },
+        /*degree=*/3, /*initial_level=*/1, /*max_level=*/3);
+
+    // Four spherical fronts at mid-mantle depth (paper §III-B).
+    const auto c0 = [](const std::array<double, 3>& x) {
+      double v = 0.0;
+      const double r0 = 0.78;
+      for (int k = 0; k < 4; ++k) {
+        const double phi = 2.0 * M_PI * k / 4.0;
+        const double cx = r0 * std::cos(phi), cy = r0 * std::sin(phi);
+        const double d2 = (x[0] - cx) * (x[0] - cx) + (x[1] - cy) * (x[1] - cy) + x[2] * x[2];
+        v += std::exp(-60.0 * d2);
+      }
+      return v;
+    };
+    driver.initialize(c0, 2, 0.08, 0.02);
+    const double mass0 = driver.advection().integral(driver.solution());
+    if (comm.rank() == 0) {
+      std::printf("initial adapted mesh: %lld tricubic elements (%lld unknowns)\n",
+                  static_cast<long long>(driver.forest().num_global()),
+                  static_cast<long long>(driver.forest().num_global() * 64));
+    }
+    // Adapt and repartition every 8 steps (the paper uses every 32 at scale).
+    driver.run(nsteps, 8, 0.35, 0.08, 0.02);
+    const double mass1 = driver.advection().integral(driver.solution());
+    if (comm.rank() == 0) {
+      std::printf("after %d steps: %lld elements, mass drift %.2e, AMR/solve busy time %.2fs/%.2fs\n",
+                  nsteps, static_cast<long long>(driver.forest().num_global()),
+                  std::abs(mass1 - mass0) / std::abs(mass0), driver.amr_seconds(),
+                  driver.solve_seconds());
+    }
+    // Write the adapted forest with the element-mean concentration.
+    std::vector<double> cbar;
+    const auto& mesh = driver.advection().mesh();
+    for (std::int64_t e = 0; e < mesh.n_local; ++e) {
+      double acc = 0.0, vol = 0.0;
+      for (int i = 0; i < mesh.nv; ++i) {
+        acc += mesh.mass[static_cast<std::size_t>(e * mesh.nv + i)] *
+               driver.solution()[static_cast<std::size_t>(e * mesh.nv + i)];
+        vol += mesh.mass[static_cast<std::size_t>(e * mesh.nv + i)];
+      }
+      cbar.push_back(acc / vol);
+    }
+    char name[64];
+    std::snprintf(name, sizeof name, "advection_shell_rank%d.vtk", comm.rank());
+    io::Geometry<3> geom = [g = sfem::shell_map()](int t, std::array<double, 3> ref) {
+      return g(t, ref);
+    };
+    io::write_forest_vtk<3>(driver.forest(), geom, name, {{"concentration", cbar}});
+  });
+  std::puts("wrote advection_shell_rank<r>.vtk");
+  return 0;
+}

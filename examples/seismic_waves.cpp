@@ -1,0 +1,69 @@
+// Paper §IV-B (dGea): global seismic wave propagation through a PREM-like
+// mantle on a wavelength-adapted spherical-shell mesh (paper Fig. 8). An
+// explosive source at mid-mantle depth radiates P waves that reflect off
+// the free surfaces; the element-mean velocity magnitude is written to VTK.
+//
+// Run: ./seismic_waves [nranks] [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/seismic.h"
+#include "io/vtk.h"
+#include "sfem/geometry.h"
+
+using namespace esamr;
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int nsteps = argc > 2 ? std::atoi(argv[2]) : 40;
+  par::run(nranks, [&](par::Comm& comm) {
+    apps::SeismicOptions opt;
+    opt.degree = 4;
+    opt.frequency = 1.5;
+    opt.points_per_wavelength = 8.0;
+    opt.base_level = 1;
+    opt.max_level = 3;
+    apps::SeismicSimulation<double> sim(comm, opt);
+    sim.initialize();
+    const double en0 = sim.energy();
+    if (comm.rank() == 0) {
+      std::printf("wavelength-adapted mesh: %lld degree-%d elements, %lld unknowns, dt %.3e\n",
+                  static_cast<long long>(sim.num_elements()), opt.degree,
+                  static_cast<long long>(sim.num_unknowns()), sim.dt());
+      std::printf("meshing %.2fs (busy), kernel transfer %.3fs\n", sim.meshing_seconds(),
+                  sim.transfer_seconds());
+    }
+    sim.run(nsteps);
+    const double en1 = sim.energy();  // collective: all ranks participate
+    if (comm.rank() == 0) {
+      std::printf("after %d steps: energy ratio %.4f, wave-prop %.3fs busy (%.1f ms/step)\n",
+                  nsteps, en1 / en0, sim.wave_seconds(), 1e3 * sim.wave_seconds() / nsteps);
+    }
+    // Element-mean |v| for visualization.
+    const auto& mesh = sim.mesh();
+    std::vector<double> vmag;
+    for (std::int64_t e = 0; e < mesh.n_local; ++e) {
+      double acc = 0.0, vol = 0.0;
+      for (int i = 0; i < mesh.nv; ++i) {
+        const std::size_t base = static_cast<std::size_t>(e) * 9 * mesh.nv;
+        double v2 = 0.0;
+        for (int d = 0; d < 3; ++d) {
+          const double v = sim.state()[base + static_cast<std::size_t>(d * mesh.nv + i)];
+          v2 += v * v;
+        }
+        acc += mesh.mass[static_cast<std::size_t>(e * mesh.nv + i)] * std::sqrt(v2);
+        vol += mesh.mass[static_cast<std::size_t>(e * mesh.nv + i)];
+      }
+      vmag.push_back(acc / vol);
+    }
+    char name[64];
+    std::snprintf(name, sizeof name, "seismic_rank%d.vtk", comm.rank());
+    io::Geometry<3> geom = [g = sfem::shell_map()](int t, std::array<double, 3> ref) {
+      return g(t, ref);
+    };
+    io::write_forest_vtk<3>(sim.forest(), geom, name, {{"velocity_magnitude", vmag}});
+  });
+  std::puts("wrote seismic_rank<r>.vtk");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Mantle-convection driver (the paper's Rhea application, §IV-A): nonlinear
+// Stokes flow with temperature- and strain-rate-dependent viscosity,
+// plastic yielding, and narrow plate-boundary weak zones on an annulus
+// forest (the 2D substitution for the 24-octree spherical shell; see
+// DESIGN.md). The driver follows the paper's adaptivity protocol:
+//
+//   1. static data-adaptive AMR: refine to the temperature field, then
+//      refine the plate-boundary zones down to the finest level;
+//   2. Picard (lagged-viscosity) iterations, each one an implicit
+//      variable-viscosity Stokes solve by MINRES with an AMG V-cycle
+//      preconditioner on the (1,1) block and an inverse-viscosity pressure
+//      mass on the (2,2) block;
+//   3. dynamic solution-adaptive refinements interleaved with the nonlinear
+//      iterations, driven by strain-rate / viscosity indicators, with
+//      velocity transfer between meshes and repartitioning.
+//
+// Busy time is accounted in the three buckets of paper Fig. 7: AMR
+// (Refine/Coarsen/Balance/Partition/Ghost/Nodes + indicators + transfer),
+// solver (assembly + Krylov minus preconditioner), and V-cycle.
+#pragma once
+
+#include <memory>
+
+#include "geo/rheology.h"
+#include "sfem/cg_fem.h"
+
+namespace esamr::apps {
+
+struct MantleOptions {
+  int ntrees = 8;
+  int base_level = 2;
+  int max_level = 6;
+  int temperature_max_level = 4;  ///< cap for temperature-driven refinement
+  int picard_iterations = 4;
+  int adapt_every = 2;        ///< dynamic AMR every k nonlinear iterations
+  int static_adapt_rounds = 3;
+  double rayleigh = 1.0e3;
+  double strain_refine_tol = 1.0;    ///< refine where eps_II exceeds this
+  double strain_coarsen_tol = 0.05;
+  geo::Rheology rheology;
+  geo::TemperatureModel temperature;
+  int minres_max_iter = 4000;
+  double minres_rtol = 1.0e-6;
+};
+
+class MantleSimulation {
+ public:
+  MantleSimulation(par::Comm& comm, MantleOptions opt);
+
+  /// Full run: static AMR, then the Picard loop with interleaved dynamic AMR.
+  void run();
+
+  // Fig. 7 accounting (busy seconds on this rank).
+  double amr_seconds() const { return t_amr_; }
+  double solve_seconds() const { return t_solve_; }
+  double vcycle_seconds() const { return t_vcycle_; }
+
+  std::int64_t num_elements() const { return forest_->num_global(); }
+  int total_minres_iterations() const { return minres_iterations_; }
+  double max_velocity() const { return max_velocity_; }
+  const forest::Forest<2>& forest() const { return *forest_; }
+
+  /// Per local element: viscosity (for visualization) and strain rate.
+  const std::vector<double>& element_viscosity() const { return elem_eta_; }
+  const std::vector<double>& element_strain_rate() const { return elem_eps_; }
+  const std::vector<double>& element_temperature() const { return elem_temp_; }
+
+ private:
+  void static_adapt();
+  void dynamic_adapt();
+  void picard_iteration(int k);
+  void rebuild_space();
+  /// Per-element corner velocities from the last solution (the Picard lag).
+  void extract_corner_velocities(const std::vector<double>& x,
+                                 const std::vector<std::int64_t>& dof_offsets);
+  double element_strain_rate_ii(std::size_t e) const;
+
+  par::Comm* comm_;
+  MantleOptions opt_;
+  forest::Connectivity<2> conn_;
+  std::unique_ptr<forest::Forest<2>> forest_;
+  std::unique_ptr<forest::GhostLayer<2>> ghost_;
+  std::unique_ptr<forest::NodeNumbering<2>> nodes_;
+  std::unique_ptr<sfem::CgSpace<2>> space_;
+
+  /// Corner velocities per local element: [elem][comp][corner], the lagged
+  /// field that feeds the viscosity (transferred across mesh adaptation).
+  std::vector<double> corner_vel_;
+  std::vector<double> elem_eta_, elem_eps_, elem_temp_;
+
+  double t_amr_ = 0.0, t_solve_ = 0.0, t_vcycle_ = 0.0;
+  int minres_iterations_ = 0;
+  double max_velocity_ = 0.0;
+};
+
+}  // namespace esamr::apps

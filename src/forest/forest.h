@@ -1,0 +1,173 @@
+// Forest<Dim>: the distributed forest of octrees (p4est reproduction).
+//
+// Storage is strictly rank-local: each rank holds a contiguous segment of
+// the space-filling curve (the left-to-right traversal of all leaves across
+// all trees, paper Fig. 2). The only globally shared metadata is the octant
+// count and the first-octant position of every rank — a handful of bytes per
+// rank (paper §II-B) — kept in `counts_` / `markers_` and refreshed by
+// allgather after every mutating operation.
+//
+// The core algorithms of paper §II-C are provided as methods: New (the
+// `new_uniform` factory), Refine, Coarsen, Partition (optionally weighted),
+// and Balance; Ghost and Nodes build on a Forest and live in ghost.h /
+// nodes.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "forest/connectivity.h"
+#include "forest/octant.h"
+#include "par/comm.h"
+
+namespace esamr::forest {
+
+/// Position in the global space-filling-curve order: tree id plus the
+/// max-level Morton key of the octant's first descendant.
+struct SfcPosition {
+  std::int32_t tree = 0;
+  std::uint64_t key = 0;
+  friend constexpr auto operator<=>(const SfcPosition&, const SfcPosition&) = default;
+};
+
+/// Serialized octant for inter-rank transfer.
+struct OctMsg {
+  std::int32_t tree;
+  std::int32_t x, y, z;
+  std::int32_t level;
+};
+
+template <int Dim>
+class Forest {
+ public:
+  using Oct = Octant<Dim>;
+  using Conn = Connectivity<Dim>;
+  using T = Topo<Dim>;
+
+  /// "New": create an equi-partitioned, uniformly refined forest
+  /// (paper §II-C). `level` may be zero, in which case some ranks own no
+  /// octants at all.
+  static Forest new_uniform(par::Comm& comm, const Conn* conn, int level);
+
+  par::Comm& comm() const { return *comm_; }
+  const Conn& conn() const { return *conn_; }
+
+  int num_trees() const { return conn_->num_trees(); }
+  const std::vector<Oct>& tree(int t) const { return trees_[static_cast<std::size_t>(t)]; }
+
+  std::int64_t num_local() const;
+  std::int64_t num_global() const;
+  /// Per-rank octant counts (replicated partition metadata).
+  const std::vector<std::int64_t>& global_counts() const { return counts_; }
+  /// Global SFC index of this rank's first octant.
+  std::int64_t global_offset() const;
+  int max_local_level() const;
+
+  /// Visit local leaves in SFC order: f(tree_id, octant).
+  void for_each_local(const std::function<void(int, const Oct&)>& f) const {
+    for (int t = 0; t < num_trees(); ++t) {
+      for (const Oct& o : trees_[static_cast<std::size_t>(t)]) f(t, o);
+    }
+  }
+
+  /// "Refine": subdivide leaves for which `marker` returns true, once or
+  /// recursively, never beyond `max_level`. No communication.
+  void refine(int max_level, bool recursive, const std::function<bool(int, const Oct&)>& marker);
+
+  /// "Coarsen": replace complete local families by their parent where
+  /// `marker(tree, parent)` returns true, once or recursively. Families
+  /// split across a rank boundary are left untouched (as in p4est).
+  void coarsen(bool recursive, const std::function<bool(int, const Oct&)>& marker);
+
+  /// "Partition": redistribute octants so every rank holds an equal share
+  /// (+-1) of the space-filling curve. One allgather plus point-to-point
+  /// transfers of contiguous SFC runs.
+  void partition();
+
+  /// Weighted partition: octants carry `weight(tree, oct) >= 0`; ranks
+  /// receive approximately equal total weight.
+  void partition(const std::function<double(int, const Oct&)>& weight);
+
+  /// Partition (uniform if `weight` is null) that also redistributes a
+  /// per-octant payload of `per_oct` doubles (SFC order, resized in place).
+  /// Used for solution transfer under repartitioning (paper §IV-A).
+  void partition_payload(const std::function<double(int, const Oct&)>* weight, int per_oct,
+                         std::vector<double>& data);
+
+  /// Uniform partition whose rank boundaries are shifted backward so that no
+  /// complete family of siblings is split across ranks (p4est's "partition
+  /// for coarsening"): a subsequent Coarsen can then collapse every marked
+  /// family regardless of where the uniform cut would have fallen.
+  void partition_for_coarsening();
+
+  /// "Balance": establish the 2:1 size condition between all neighboring
+  /// leaves — across faces, edges (3D), and corners, including neighbors in
+  /// other trees via the connectivity transforms. Iterated ripple algorithm;
+  /// terminates on a global fixed point.
+  void balance();
+
+  /// Rank owning the SFC position of `o`'s first descendant. `o` must be
+  /// inside its tree's root.
+  int find_owner(int tree_id, const Oct& o) const;
+
+  /// True if some local leaf equals `o` or is an ancestor/descendant of it
+  /// (i.e. this rank's storage overlaps the region of `o`).
+  bool overlaps_local(int tree_id, const Oct& o) const;
+
+  /// Local leaf exactly matching, or the leaf that contains `o`, if stored
+  /// on this rank; returns nullptr otherwise.
+  const Oct* find_local_leaf_containing(int tree_id, const Oct& o) const;
+
+  /// Top-down hierarchical search over the local leaves (the "lightweight
+  /// search facilities" of paper §II-D, p4est_search style): `visit` is
+  /// called for every traversed ancestor octant with is_leaf = false —
+  /// returning false prunes that subtree — and exactly once for every local
+  /// leaf reached, with is_leaf = true (return value ignored there).
+  void search(const std::function<bool(int tree, const Oct&, bool is_leaf)>& visit) const;
+
+  /// Local structural invariants: per-tree arrays sorted and non-overlapping.
+  bool is_valid_local() const;
+
+  /// Order- and partition-independent global checksum over all leaves.
+  std::uint64_t checksum() const;
+
+  /// The (replicated, tiny) SFC markers: markers_[r] is the position of
+  /// rank r's first octant; empty ranks repeat the next rank's marker.
+  const std::vector<SfcPosition>& markers() const { return markers_; }
+
+  /// Recompute counts_/markers_ after a mutation (called internally; public
+  /// for algorithms in ghost.cc/nodes.cc that rebuild storage).
+  void update_partition_meta();
+
+  /// Direct mutable access for the algorithm implementations (balance,
+  /// transfer); callers must keep per-tree arrays sorted and call
+  /// update_partition_meta() afterwards.
+  std::vector<Oct>& mutable_tree(int t) { return trees_[static_cast<std::size_t>(t)]; }
+
+ private:
+  Forest(par::Comm& comm, const Conn* conn)
+      : comm_(&comm), conn_(conn), trees_(static_cast<std::size_t>(conn->num_trees())) {}
+
+  par::Comm* comm_;
+  const Conn* conn_;
+  std::vector<std::vector<Oct>> trees_;
+  std::vector<std::int64_t> counts_;    // per-rank octant counts
+  std::vector<SfcPosition> markers_;    // per-rank first-octant positions
+};
+
+/// Indices [first, last) of leaves in a sorted leaf array whose regions
+/// overlap octant `n` (descendants/equal, or the single containing ancestor).
+template <int Dim>
+std::pair<std::size_t, std::size_t> overlapping_range(const std::vector<Octant<Dim>>& leaves,
+                                                      const Octant<Dim>& n);
+
+extern template class Forest<2>;
+extern template class Forest<3>;
+extern template std::pair<std::size_t, std::size_t> overlapping_range<2>(
+    const std::vector<Octant<2>>&, const Octant<2>&);
+extern template std::pair<std::size_t, std::size_t> overlapping_range<3>(
+    const std::vector<Octant<3>>&, const Octant<3>&);
+
+}  // namespace esamr::forest

@@ -1,0 +1,210 @@
+#include "forest/ghost.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esamr::forest {
+
+namespace {
+
+constexpr int ipow_dirs(int b, int e) {
+  int r = 1;
+  for (int i = 0; i < e; ++i) r *= b;
+  return r;
+}
+
+/// Collect the owner ranks of all finest-level cells inside region `n` that
+/// touch the boundary entity given by `pins`. Recursion descends only while
+/// the (pruned) region spans more than one rank, so the work is bounded by
+/// the number of partition boundaries crossing the interface.
+template <int Dim>
+void collect_owners(const Forest<Dim>& f, int tree, const Octant<Dim>& n,
+                    const typename Connectivity<Dim>::EntityPins& pins, std::vector<int>& out) {
+  const int r0 = f.find_owner(tree, n);
+  const int r1 = f.find_owner(tree, n.last_descendant(Octant<Dim>::max_level));
+  if (r0 == r1 || n.level >= Octant<Dim>::max_level) {
+    for (int r = r0; r <= r1; ++r) out.push_back(r);
+    return;
+  }
+  for (int c = 0; c < Topo<Dim>::num_children; ++c) {
+    bool touches = true;
+    for (int a = 0; a < Dim; ++a) {
+      const std::int8_t pin = pins.pin[static_cast<std::size_t>(a)];
+      if (pin >= 0 && ((c >> a) & 1) != pin) touches = false;
+    }
+    if (touches) collect_owners(f, tree, n.child(c), pins, out);
+  }
+}
+
+}  // namespace
+
+template <int Dim>
+GhostLayer<Dim> GhostLayer<Dim>::build(const Forest<Dim>& forest, int layers) {
+  if (layers < 1) throw std::runtime_error("ghost: layers must be >= 1");
+  using Pins = typename Connectivity<Dim>::EntityPins;
+  using T = Topo<Dim>;
+  par::Comm& comm = forest.comm();
+  const Connectivity<Dim>& conn = forest.conn();
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  GhostLayer layer;
+  layer.mirror_lists.resize(static_cast<std::size_t>(p));
+  std::vector<std::vector<OctMsg>> send(static_cast<std::size_t>(p));
+  // mirror index of each sent local leaf; -1 until first sent
+  std::vector<std::int32_t> mirror_of;
+
+  std::int32_t li = 0;  // local element index in SFC enumeration
+  std::vector<int> targets;
+  forest.for_each_local([&](int t, const Oct& o) {
+    targets.clear();
+    const auto handle = [&](int t2, const Oct& n, const Pins& pins) {
+      collect_owners(forest, t2, n, pins, targets);
+    };
+    const auto place = [&](const Oct& n, const Pins& pins) {
+      if (n.inside_root()) {
+        handle(t, n, pins);
+      } else {
+        for (const auto& [t2, img, p2] : conn.exterior_images_entity(t, n, pins)) {
+          handle(t2, img, p2);
+        }
+      }
+    };
+    if (layers > 1) {
+      // Wider halo: every offset within `layers` own-size cells, with the
+      // whole region collected (free pins). Images across macro edges and
+      // corners are truncated to the adjacent shadow (see header).
+      const std::int32_t h = o.size();
+      std::array<int, 3> d{0, 0, 0};
+      const int w = 2 * layers + 1;
+      for (int code = 0; code < ipow_dirs(w, Dim); ++code) {
+        int rem = code;
+        bool zero = true;
+        for (int a = 0; a < Dim; ++a) {
+          d[static_cast<std::size_t>(a)] = rem % w - layers;
+          rem /= w;
+          if (d[static_cast<std::size_t>(a)] != 0) zero = false;
+        }
+        if (zero) continue;
+        Oct n = o;
+        for (int a = 0; a < Dim; ++a) {
+          n.set_coord(a, n.coord(a) + d[static_cast<std::size_t>(a)] * h);
+        }
+        Pins free;
+        if (n.inside_root()) {
+          handle(t, n, free);
+        } else {
+          for (const auto& [t2, img, p2] : conn.exterior_images_entity(t, n, free)) {
+            if (img.inside_root()) handle(t2, img, free);
+          }
+        }
+      }
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+      std::int32_t mi2 = -1;
+      for (const int r : targets) {
+        if (r == me) continue;
+        if (mi2 < 0) {
+          mi2 = static_cast<std::int32_t>(layer.mirrors.size());
+          layer.mirrors.push_back(Mirror{o, t, li});
+        }
+        layer.mirror_lists[static_cast<std::size_t>(r)].push_back(mi2);
+        send[static_cast<std::size_t>(r)].push_back(
+            OctMsg{t, o.x, o.y, Dim == 3 ? o.z : 0, o.level});
+      }
+      ++li;
+      return;
+    }
+
+    // Face, edge (3D), and corner directions; the pins describe the
+    // interface of the neighbor region that faces back toward `o`.
+    for (int f = 0; f < T::num_faces; ++f) {
+      Pins pins;
+      pins.pin[static_cast<std::size_t>(f / 2)] = static_cast<std::int8_t>(1 - (f % 2));
+      place(o.face_neighbor(f), pins);
+    }
+    if constexpr (Dim == 3) {
+      for (int e = 0; e < T::num_edges; ++e) {
+        const int axis = T::edge_axis[e];
+        const int idx = e & 3;
+        Pins pins;
+        int k = 0;
+        for (int a = 0; a < 3; ++a) {
+          if (a == axis) continue;
+          pins.pin[static_cast<std::size_t>(a)] =
+              static_cast<std::int8_t>(1 - ((idx >> k) & 1));
+          ++k;
+        }
+        place(o.edge_neighbor(e), pins);
+      }
+    }
+    for (int c = 0; c < T::num_corners; ++c) {
+      Pins pins;
+      for (int a = 0; a < Dim; ++a) {
+        pins.pin[static_cast<std::size_t>(a)] = static_cast<std::int8_t>(1 - ((c >> a) & 1));
+      }
+      place(o.corner_neighbor(c), pins);
+    }
+
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    std::int32_t mi = -1;
+    for (const int r : targets) {
+      if (r == me) continue;
+      if (mi < 0) {
+        mi = static_cast<std::int32_t>(layer.mirrors.size());
+        layer.mirrors.push_back(Mirror{o, t, li});
+      }
+      layer.mirror_lists[static_cast<std::size_t>(r)].push_back(mi);
+      send[static_cast<std::size_t>(r)].push_back(OctMsg{t, o.x, o.y, Dim == 3 ? o.z : 0, o.level});
+    }
+    ++li;
+  });
+  (void)mirror_of;
+
+  const auto recv = comm.alltoallv(send);
+  layer.rank_offset.assign(static_cast<std::size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) {
+    layer.rank_offset[static_cast<std::size_t>(r) + 1] =
+        layer.rank_offset[static_cast<std::size_t>(r)] + recv[static_cast<std::size_t>(r)].size();
+    for (const OctMsg& m : recv[static_cast<std::size_t>(r)]) {
+      Oct o;
+      o.x = m.x;
+      o.y = m.y;
+      if constexpr (Dim == 3) o.z = m.z;
+      o.level = static_cast<std::int8_t>(m.level);
+      layer.ghosts.push_back(GhostOct{o, m.tree, r});
+    }
+  }
+  return layer;
+}
+
+template <int Dim>
+std::vector<std::vector<LeafRef<Dim>>> build_leaf_directory(const Forest<Dim>& forest,
+                                                            const GhostLayer<Dim>& ghost) {
+  std::vector<std::vector<LeafRef<Dim>>> dir(static_cast<std::size_t>(forest.num_trees()));
+  std::int32_t li = 0;
+  const int me = forest.comm().rank();
+  forest.for_each_local([&](int t, const Octant<Dim>& o) {
+    dir[static_cast<std::size_t>(t)].push_back(LeafRef<Dim>{o, me, li++});
+  });
+  for (std::size_t gi = 0; gi < ghost.ghosts.size(); ++gi) {
+    const auto& g = ghost.ghosts[gi];
+    dir[static_cast<std::size_t>(g.tree)].push_back(
+        LeafRef<Dim>{g.oct, g.owner, static_cast<std::int32_t>(gi)});
+  }
+  for (auto& v : dir) {
+    std::sort(v.begin(), v.end(),
+              [](const LeafRef<Dim>& a, const LeafRef<Dim>& b) { return a.oct < b.oct; });
+  }
+  return dir;
+}
+
+template struct GhostLayer<2>;
+template struct GhostLayer<3>;
+template std::vector<std::vector<LeafRef<2>>> build_leaf_directory<2>(const Forest<2>&,
+                                                                      const GhostLayer<2>&);
+template std::vector<std::vector<LeafRef<3>>> build_leaf_directory<3>(const Forest<3>&,
+                                                                      const GhostLayer<3>&);
+
+}  // namespace esamr::forest

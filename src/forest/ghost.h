@@ -1,0 +1,104 @@
+// "Ghost" (paper §II-C): collect one layer of non-local leaves touching the
+// parallel partition boundary from the outside — with full face, edge, and
+// corner adjacency, within trees and across inter-tree connections.
+//
+// The layer is built symmetrically: every rank determines which of its own
+// leaves touch another rank's domain (via owner range queries on the
+// replicated SFC markers, pruned to the touching interface) and sends those
+// leaves out; what it receives is exactly its ghost layer. The local leaves
+// that were sent are recorded as "mirrors" so that per-element payloads
+// (e.g. dG face data) can later be exchanged with a single alltoallv.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "forest/forest.h"
+
+namespace esamr::forest {
+
+template <int Dim>
+struct GhostLayer {
+  using Oct = Octant<Dim>;
+
+  struct GhostOct {
+    Oct oct;
+    std::int32_t tree;
+    std::int32_t owner;
+  };
+  /// Non-local leaves adjacent to this rank's domain, sorted by
+  /// (owner rank, tree, SFC position).
+  std::vector<GhostOct> ghosts;
+  /// ghosts[rank_offset[r] .. rank_offset[r+1]) came from rank r.
+  std::vector<std::size_t> rank_offset;
+
+  struct Mirror {
+    Oct oct;
+    std::int32_t tree;
+    std::int32_t local_index;  ///< index of the leaf in local SFC enumeration
+  };
+  /// Local leaves that appear in some other rank's ghost layer (SFC order).
+  std::vector<Mirror> mirrors;
+  /// For each rank: indices into `mirrors` in the exact order the octants
+  /// were sent (matching the receiver's ghost order for that rank).
+  std::vector<std::vector<std::int32_t>> mirror_lists;
+
+  /// Build the ghost layer of a (typically 2:1 balanced) forest.
+  ///
+  /// `layers` > 1 collects a wider halo (e.g. for semi-Lagrangian methods,
+  /// the "minor extension of Ghost" of paper §II-E): every foreign leaf
+  /// overlapping the region within `layers` own-size cells of a local leaf
+  /// is included. Layer 1 is exact adjacency; deeper layers are a slight
+  /// superset of the k-neighborhood on strongly graded meshes.
+  static GhostLayer build(const Forest<Dim>& forest, int layers = 1);
+
+  /// Exchange per-element payloads: `mirror_data` holds `per_elem` values of
+  /// T for each mirror (in `mirrors` order); the result holds `per_elem`
+  /// values for each ghost (in `ghosts` order).
+  template <typename T>
+  std::vector<T> exchange(par::Comm& comm, std::span<const T> mirror_data, int per_elem) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = comm.size();
+    std::vector<std::vector<T>> send(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      for (const std::int32_t mi : mirror_lists[static_cast<std::size_t>(r)]) {
+        const T* block = mirror_data.data() + static_cast<std::size_t>(mi) * per_elem;
+        send[static_cast<std::size_t>(r)].insert(send[static_cast<std::size_t>(r)].end(), block,
+                                                 block + per_elem);
+      }
+    }
+    const auto recv = comm.alltoallv(send);
+    std::vector<T> out(ghosts.size() * static_cast<std::size_t>(per_elem));
+    for (int r = 0; r < p; ++r) {
+      const auto& from = recv[static_cast<std::size_t>(r)];
+      std::memcpy(out.data() + rank_offset[static_cast<std::size_t>(r)] * per_elem, from.data(),
+                  from.size() * sizeof(T));
+    }
+    return out;
+  }
+};
+
+/// A leaf known to this rank: local (owner == my rank, index = local element
+/// index) or ghost (index into the ghost array).
+template <int Dim>
+struct LeafRef {
+  Octant<Dim> oct;
+  std::int32_t owner;
+  std::int32_t index;
+};
+
+/// Per-tree sorted directory of all leaves this rank knows (local + ghost):
+/// the neighbor-lookup structure used by Nodes and the dG mesh.
+template <int Dim>
+std::vector<std::vector<LeafRef<Dim>>> build_leaf_directory(const Forest<Dim>& forest,
+                                                            const GhostLayer<Dim>& ghost);
+
+extern template struct GhostLayer<2>;
+extern template struct GhostLayer<3>;
+extern template std::vector<std::vector<LeafRef<2>>> build_leaf_directory<2>(
+    const Forest<2>&, const GhostLayer<2>&);
+extern template std::vector<std::vector<LeafRef<3>>> build_leaf_directory<3>(
+    const Forest<3>&, const GhostLayer<3>&);
+
+}  // namespace esamr::forest

@@ -1,0 +1,374 @@
+#include "forest/nodes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace esamr::forest {
+
+namespace {
+
+/// Request/answer payloads for the id-resolution rounds.
+struct KeyMsg {
+  std::int32_t tree, x, y, z;
+};
+
+constexpr int kAnsIndepGid = 0;    // answerer owns the node; gid attached
+constexpr int kAnsIndepOwner = 1;  // node independent; re-ask the owner
+constexpr int kAnsDependent = 2;   // node hangs; masters attached
+
+struct AnsMsg {
+  KeyMsg key;
+  std::int32_t kind;
+  std::int64_t gid_or_owner;
+  std::int32_t nmasters;
+  KeyMsg masters[4];
+  std::int32_t ask[4];
+};
+
+/// Local classification of a node point.
+template <int Dim>
+struct Classification {
+  bool independent = false;
+  int owner = -1;                                            // if independent
+  std::vector<typename NodeNumbering<Dim>::Key> masters;     // if dependent
+  std::vector<int> ask;                                      // rank to ask per master
+};
+
+}  // namespace
+
+template <int Dim>
+NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
+                                             const GhostLayer<Dim>& ghost) {
+  using Oct = Octant<Dim>;
+  using T = Topo<Dim>;
+  using Cls = Classification<Dim>;
+  constexpr int nc = T::num_corners;
+  par::Comm& comm = forest.comm();
+  const Connectivity<Dim>& conn = forest.conn();
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  const auto dir = build_leaf_directory(forest, ghost);
+
+  // Find the known leaf containing a (max-level) cell, or nullptr.
+  const auto find_leaf = [&](int t, const Oct& cell) -> const LeafRef<Dim>* {
+    const auto& v = dir[static_cast<std::size_t>(t)];
+    const auto it = std::upper_bound(
+        v.begin(), v.end(), cell,
+        [](const Oct& a, const LeafRef<Dim>& b) { return a < b.oct; });
+    if (it == v.begin()) return nullptr;
+    const LeafRef<Dim>* cand = &*(it - 1);
+    return cand->oct.contains(cell) ? cand : nullptr;
+  };
+
+  // All frame representations of a point: (tree, point), self first.
+  const auto frames = [&](int t, std::array<std::int32_t, 3> pt) {
+    std::vector<std::pair<int, std::array<std::int32_t, 3>>> fr;
+    fr.emplace_back(t, pt);
+    for (const auto& im : conn.point_images(t, pt)) fr.push_back(im);
+    return fr;
+  };
+
+  const auto canonical = [&](int t, std::array<std::int32_t, 3> pt) -> Key {
+    auto fr = frames(t, pt);
+    std::sort(fr.begin(), fr.end());
+    const auto& [ct, cp] = fr.front();
+    return Key{ct, cp[0], cp[1], cp[2]};
+  };
+
+  // One incidence of a leaf at the node point, in some tree frame.
+  struct Touch {
+    int tree;
+    Oct oct;
+    int owner;
+    std::array<std::int32_t, 3> pt;  // the node point in this frame
+    bool corner;                     // point is a corner of the leaf
+  };
+
+  // Classify the node point (t, pt). The caller guarantees the point is a
+  // corner of one of this rank's local elements, so every touching leaf is
+  // known locally (local or ghost).
+  const auto classify = [&](int t, std::array<std::int32_t, 3> pt) -> Cls {
+    std::vector<Touch> touching;
+    for (const auto& [ft, fp] : frames(t, pt)) {
+      for (int q = 0; q < nc; ++q) {
+        // The finest-level cell adjacent to the point in quadrant q.
+        Oct cell;
+        cell.level = Oct::max_level;
+        bool ok = true;
+        for (int a = 0; a < Dim; ++a) {
+          const std::int32_t c = fp[static_cast<std::size_t>(a)] - (((q >> a) & 1) ? 1 : 0);
+          if (c < 0 || c >= Oct::root_len) ok = false;
+          cell.set_coord(a, c);
+        }
+        if (!ok) continue;
+        const LeafRef<Dim>* leaf = find_leaf(ft, cell);
+        if (leaf == nullptr) {
+          throw std::runtime_error("nodes: touching leaf not in local+ghost storage");
+        }
+        bool is_corner = true;
+        for (int a = 0; a < Dim; ++a) {
+          const std::int32_t rel = fp[static_cast<std::size_t>(a)] - leaf->oct.coord(a);
+          if (rel != 0 && rel != leaf->oct.size()) is_corner = false;
+        }
+        Touch tc{ft, leaf->oct, leaf->owner, fp, is_corner};
+        bool dup = false;
+        for (const Touch& x : touching) {
+          if (x.tree == tc.tree && x.oct == tc.oct && x.pt == tc.pt) dup = true;
+        }
+        if (!dup) touching.push_back(tc);
+      }
+    }
+    Cls cls;
+    cls.independent = true;
+    cls.owner = p;
+    for (const Touch& tc : touching) {
+      cls.owner = std::min(cls.owner, tc.owner);
+      if (!tc.corner) cls.independent = false;
+    }
+    if (cls.independent) return cls;
+    // Dependent: the constraining entity is the face/edge of the coarsest
+    // incidence for which the point is not a corner.
+    const Touch* best = nullptr;
+    for (const Touch& tc : touching) {
+      if (!tc.corner && (best == nullptr || tc.oct.level < best->oct.level)) best = &tc;
+    }
+    const std::int32_t h = best->oct.size();
+    std::array<bool, 3> interior{false, false, false};
+    for (int a = 0; a < Dim; ++a) {
+      const std::int32_t rel = best->pt[static_cast<std::size_t>(a)] - best->oct.coord(a);
+      interior[static_cast<std::size_t>(a)] = (rel != 0 && rel != h);
+    }
+    // Masters: corners of the constraining entity (2^k of them for k
+    // interior axes).
+    std::vector<int> axes;
+    for (int a = 0; a < Dim; ++a)
+      if (interior[static_cast<std::size_t>(a)]) axes.push_back(a);
+    for (int combo = 0; combo < (1 << axes.size()); ++combo) {
+      std::array<std::int32_t, 3> m = best->pt;
+      for (std::size_t i = 0; i < axes.size(); ++i) {
+        m[static_cast<std::size_t>(axes[i])] =
+            best->oct.coord(axes[i]) + (((combo >> i) & 1) ? h : 0);
+      }
+      cls.masters.push_back(canonical(best->tree, m));
+      cls.ask.push_back(best->owner);
+    }
+    return cls;
+  };
+
+  // --- Pass 1: classify all corners of local elements ------------------------
+  std::map<Key, Cls> classified;
+  const auto n_local = static_cast<std::size_t>(forest.num_local());
+  std::vector<std::array<Key, nc>> elem_keys(n_local);
+  std::size_t li = 0;
+  forest.for_each_local([&](int t, const Oct& o) {
+    for (int c = 0; c < nc; ++c) {
+      const auto cp = o.corner_point(c);
+      const Key k = canonical(t, cp);
+      elem_keys[li][static_cast<std::size_t>(c)] = k;
+      if (classified.find(k) == classified.end()) classified.emplace(k, classify(t, cp));
+    }
+    ++li;
+  });
+
+  // --- Assign ids to owned independent nodes --------------------------------
+  NodeNumbering out;
+  std::map<Key, std::int64_t> gid_of;  // keys with known gid (owned or fetched)
+  for (const auto& [k, cls] : classified) {
+    if (cls.independent && cls.owner == me) out.owned_keys.push_back(k);
+  }
+  std::sort(out.owned_keys.begin(), out.owned_keys.end());
+  out.num_owned = static_cast<std::int64_t>(out.owned_keys.size());
+  const auto counts = comm.allgather(out.num_owned);
+  out.rank_offsets.assign(static_cast<std::size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) {
+    out.rank_offsets[static_cast<std::size_t>(r) + 1] =
+        out.rank_offsets[static_cast<std::size_t>(r)] + counts[static_cast<std::size_t>(r)];
+  }
+  out.owned_offset = out.rank_offsets[static_cast<std::size_t>(me)];
+  out.num_global = out.rank_offsets[static_cast<std::size_t>(p)];
+  for (std::size_t i = 0; i < out.owned_keys.size(); ++i) {
+    gid_of[out.owned_keys[i]] = out.owned_offset + static_cast<std::int64_t>(i);
+  }
+
+  // --- Resolution rounds -----------------------------------------------------
+  // `want` = keys whose expansion onto independent gids we need.
+  std::map<Key, std::vector<Contrib>> resolved;
+  std::set<Key> want;
+  std::map<Key, int> ask_hint;  // where to ask about keys we did not classify
+  std::set<std::pair<Key, int>> asked;
+  for (const auto& ek : elem_keys) {
+    for (const Key& k : ek) want.insert(k);
+  }
+
+  const auto to_msg = [](const Key& k) { return KeyMsg{k[0], k[1], k[2], k[3]}; };
+  const auto from_msg = [](const KeyMsg& m) { return Key{m.tree, m.x, m.y, m.z}; };
+
+  for (int round = 0;; ++round) {
+    if (round > 64) throw std::runtime_error("nodes: resolution did not converge");
+    // Local expansion to a fixed point.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (const Key& k : want) {
+        if (resolved.count(k)) continue;
+        const auto it = classified.find(k);
+        if (it == classified.end()) continue;
+        const Cls& cls = it->second;
+        if (cls.independent) {
+          const auto g = gid_of.find(k);
+          if (g != gid_of.end()) {
+            resolved[k] = {Contrib{g->second, 1.0}};
+            progress = true;
+          }
+        } else {
+          bool all = true;
+          for (const Key& m : cls.masters) {
+            if (!resolved.count(m)) all = false;
+          }
+          if (all) {
+            std::map<std::int64_t, double> acc;
+            const double w = 1.0 / static_cast<double>(cls.masters.size());
+            for (const Key& m : cls.masters) {
+              for (const Contrib& c : resolved[m]) acc[c.gid] += w * c.weight;
+            }
+            auto& v = resolved[k];
+            for (const auto& [g, ww] : acc) v.push_back(Contrib{g, ww});
+            progress = true;
+          }
+        }
+      }
+      // Pull masters of classified dependents into `want`.
+      std::vector<Key> grow;
+      for (const Key& k : want) {
+        const auto it = classified.find(k);
+        if (it == classified.end() || it->second.independent) continue;
+        for (std::size_t i = 0; i < it->second.masters.size(); ++i) {
+          const Key& m = it->second.masters[i];
+          if (!want.count(m)) {
+            grow.push_back(m);
+            ask_hint.emplace(m, it->second.ask[i]);
+          }
+        }
+      }
+      if (!grow.empty()) progress = true;
+      for (const Key& k : grow) want.insert(k);
+    }
+
+    // Build requests.
+    std::vector<std::vector<KeyMsg>> req(static_cast<std::size_t>(p));
+    bool outstanding = false;
+    for (const Key& k : want) {
+      if (resolved.count(k)) continue;
+      outstanding = true;
+      int target = -1;
+      const auto it = classified.find(k);
+      if (it != classified.end() && it->second.independent) {
+        target = it->second.owner;  // fetch the gid from the owner
+      } else if (it == classified.end()) {
+        const auto h = ask_hint.find(k);
+        if (h == ask_hint.end()) throw std::runtime_error("nodes: unclassified key without hint");
+        target = h->second;
+      } else {
+        continue;  // dependent with unresolved masters: they carry the requests
+      }
+      if (asked.insert({k, target}).second) {
+        req[static_cast<std::size_t>(target)].push_back(to_msg(k));
+      }
+    }
+
+    const int any = comm.allreduce(static_cast<int>(outstanding), par::ReduceOp::logical_or);
+    if (!any) break;
+
+    const auto req_in = comm.alltoallv(req);
+
+    // Answer every incoming request from the local classification.
+    std::vector<std::vector<AnsMsg>> ans(static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      for (const KeyMsg& km : req_in[static_cast<std::size_t>(src)]) {
+        const Key k = from_msg(km);
+        const auto it = classified.find(k);
+        if (it == classified.end()) {
+          throw std::runtime_error("nodes: request for a key this rank never classified");
+        }
+        AnsMsg a{};
+        a.key = km;
+        const Cls& cls = it->second;
+        if (cls.independent) {
+          const auto g = gid_of.find(k);
+          if (g != gid_of.end()) {
+            a.kind = kAnsIndepGid;
+            a.gid_or_owner = g->second;
+          } else {
+            a.kind = kAnsIndepOwner;
+            a.gid_or_owner = cls.owner;
+          }
+        } else {
+          a.kind = kAnsDependent;
+          a.nmasters = static_cast<std::int32_t>(cls.masters.size());
+          for (std::size_t i = 0; i < cls.masters.size(); ++i) {
+            a.masters[i] = to_msg(cls.masters[i]);
+            a.ask[i] = cls.ask[i];
+          }
+        }
+        ans[static_cast<std::size_t>(src)].push_back(a);
+      }
+    }
+    const auto ans_in = comm.alltoallv(ans);
+    for (const auto& from : ans_in) {
+      for (const AnsMsg& a : from) {
+        const Key k = from_msg(a.key);
+        if (a.kind == kAnsIndepGid) {
+          gid_of[k] = a.gid_or_owner;
+          Cls cls;
+          cls.independent = true;
+          cls.owner = out.owner_of_gid(a.gid_or_owner);
+          classified.emplace(k, cls);
+        } else if (a.kind == kAnsIndepOwner) {
+          Cls cls;
+          cls.independent = true;
+          cls.owner = static_cast<int>(a.gid_or_owner);
+          classified.insert_or_assign(k, cls);
+        } else {
+          Cls cls;
+          cls.independent = false;
+          for (int i = 0; i < a.nmasters; ++i) {
+            cls.masters.push_back(from_msg(a.masters[i]));
+            cls.ask.push_back(a.ask[i]);
+          }
+          classified.insert_or_assign(k, cls);
+        }
+      }
+    }
+  }
+
+  // --- Fill per-element slots -------------------------------------------------
+  out.elements.resize(n_local);
+  for (std::size_t e = 0; e < n_local; ++e) {
+    for (int c = 0; c < nc; ++c) {
+      out.elements[e][static_cast<std::size_t>(c)] = resolved.at(elem_keys[e][static_cast<std::size_t>(c)]);
+    }
+  }
+  // Invert the gid map for locally referenced nodes.
+  out.gid_keys.reserve(gid_of.size());
+  for (const auto& [k, g] : gid_of) out.gid_keys.emplace_back(g, k);
+  std::sort(out.gid_keys.begin(), out.gid_keys.end());
+  return out;
+}
+
+template <int Dim>
+const typename NodeNumbering<Dim>::Key& NodeNumbering<Dim>::key_of(std::int64_t gid) const {
+  const auto it = std::lower_bound(gid_keys.begin(), gid_keys.end(), gid,
+                                   [](const auto& a, std::int64_t g) { return a.first < g; });
+  if (it == gid_keys.end() || it->first != gid) {
+    throw std::runtime_error("NodeNumbering::key_of: gid not referenced on this rank");
+  }
+  return it->second;
+}
+
+template struct NodeNumbering<2>;
+template struct NodeNumbering<3>;
+
+}  // namespace esamr::forest

@@ -1,0 +1,74 @@
+// "Nodes" (paper §II-C/E): construct a globally unique numbering of the
+// independent unknowns of a continuous (here: tri/bi-linear) finite element
+// space on a 2:1-balanced forest, including
+//   * canonicalization of nodes on inter-tree boundaries (a node shared by
+//     several trees is represented once, in the lowest frame; paper §II-E),
+//   * hanging-node constraints: a corner node lying in the interior of a
+//     coarse neighbor's face or edge carries no unknown of its own; its
+//     element slot interpolates the corners of the constraining entity
+//     (transitively, since a constraining corner may itself hang),
+//   * distributed ownership: an independent node is owned by the lowest
+//     rank among the owners of the leaves touching it; ids are assigned
+//     contiguously per rank (exscan) and resolved across ranks with a
+//     small number of query rounds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "forest/forest.h"
+#include "forest/ghost.h"
+
+namespace esamr::forest {
+
+template <int Dim>
+struct NodeNumbering {
+  /// Canonical node identity: tree id plus lattice point in that tree.
+  using Key = std::array<std::int32_t, 4>;  // (tree, x, y, z)
+
+  struct Contrib {
+    std::int64_t gid;
+    double weight;
+  };
+  /// Per local element (SFC order), per corner slot: the interpolation of
+  /// that slot onto independent global nodes. Independent slots hold a
+  /// single entry of weight one.
+  std::vector<std::array<std::vector<Contrib>, Topo<Dim>::num_corners>> elements;
+
+  std::int64_t num_owned = 0;
+  std::int64_t owned_offset = 0;  ///< my ids are [owned_offset, owned_offset + num_owned)
+  std::int64_t num_global = 0;
+  /// Per-rank id range starts (size P+1); owner of a gid by upper_bound.
+  std::vector<std::int64_t> rank_offsets;
+  /// Canonical keys of the nodes this rank owns, indexed by gid - owned_offset.
+  std::vector<Key> owned_keys;
+  /// Canonical key of every gid referenced by this rank's element slots
+  /// (owned or not), sorted by gid. Lets local code compute node positions
+  /// (e.g. boundary values) without further communication.
+  std::vector<std::pair<std::int64_t, Key>> gid_keys;
+
+  /// Key of a locally referenced gid (throws if unknown to this rank).
+  const Key& key_of(std::int64_t gid) const;
+
+  int owner_of_gid(std::int64_t gid) const {
+    int lo = 0, hi = static_cast<int>(rank_offsets.size()) - 2;
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (rank_offsets[static_cast<std::size_t>(mid)] <= gid) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
+
+  /// Build the numbering for a 2:1-balanced forest with its ghost layer.
+  static NodeNumbering build(const Forest<Dim>& forest, const GhostLayer<Dim>& ghost);
+};
+
+extern template struct NodeNumbering<2>;
+extern template struct NodeNumbering<3>;
+
+}  // namespace esamr::forest

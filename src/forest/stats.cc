@@ -1,0 +1,40 @@
+#include "forest/stats.h"
+
+#include <algorithm>
+
+namespace esamr::forest {
+
+template <int Dim>
+ForestStats<Dim> ForestStats<Dim>::compute(const Forest<Dim>& f) {
+  ForestStats s;
+  std::array<std::int64_t, Octant<Dim>::max_level + 1> local{};
+  f.for_each_local([&](int, const Octant<Dim>& o) {
+    ++local[static_cast<std::size_t>(o.level)];
+  });
+  const auto all = f.comm().allgatherv(
+      std::vector<std::int64_t>(local.begin(), local.end()));
+  for (const auto& from : all) {
+    for (std::size_t l = 0; l < from.size(); ++l) s.level_counts[l] += from[l];
+  }
+  s.min_per_rank = f.global_counts().front();
+  for (const auto c : f.global_counts()) {
+    s.global_octants += c;
+    s.min_per_rank = std::min(s.min_per_rank, c);
+    s.max_per_rank = std::max(s.max_per_rank, c);
+  }
+  s.avg_per_rank = static_cast<double>(s.global_octants) / f.comm().size();
+  s.min_level = -1;
+  for (int l = 0; l <= Octant<Dim>::max_level; ++l) {
+    if (s.level_counts[static_cast<std::size_t>(l)] > 0) {
+      if (s.min_level < 0) s.min_level = l;
+      s.max_level = l;
+    }
+  }
+  if (s.min_level < 0) s.min_level = 0;
+  return s;
+}
+
+template struct ForestStats<2>;
+template struct ForestStats<3>;
+
+}  // namespace esamr::forest

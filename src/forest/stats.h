@@ -1,0 +1,28 @@
+// Aggregate forest statistics (load balance and refinement structure),
+// gathered with one allgather — the kind of summary the paper's runs log.
+#pragma once
+
+#include <array>
+
+#include "forest/forest.h"
+
+namespace esamr::forest {
+
+template <int Dim>
+struct ForestStats {
+  std::int64_t global_octants = 0;
+  std::int64_t min_per_rank = 0;
+  std::int64_t max_per_rank = 0;
+  double avg_per_rank = 0.0;
+  int min_level = 0;  ///< over all leaves, globally
+  int max_level = 0;
+  /// Global leaf count per refinement level.
+  std::array<std::int64_t, Octant<Dim>::max_level + 1> level_counts{};
+
+  static ForestStats compute(const Forest<Dim>& f);
+};
+
+extern template struct ForestStats<2>;
+extern template struct ForestStats<3>;
+
+}  // namespace esamr::forest

@@ -1,0 +1,61 @@
+#include "geo/earth_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esamr::geo {
+
+EarthModel EarthModel::prem_like() {
+  // Normalized radii of the major PREM interfaces (R_earth = 6371 km):
+  // ICB 1221.5 km, CMB 3480 km, D'' omitted, 660 = 5711, 410 = 5961,
+  // Moho ~ 6346.6 km. Velocities in km/s, densities in g/cm^3.
+  EarthModel m;
+  m.layers_ = {
+      // inner core (solid)
+      {0.0000, 0.1917, {11.26, 3.67, 13.09}, {11.03, 3.50, 12.76}},
+      // outer core (fluid)
+      {0.1917, 0.5462, {10.36, 0.00, 12.17}, {8.06, 0.00, 9.90}},
+      // lower mantle
+      {0.5462, 0.8964, {13.72, 7.26, 5.57}, {10.75, 5.95, 4.41}},
+      // transition zone (660 - 410)
+      {0.8964, 0.9357, {10.27, 5.57, 4.00}, {9.13, 4.93, 3.54}},
+      // upper mantle
+      {0.9357, 0.9962, {8.91, 4.77, 3.48}, {8.02, 4.40, 3.36}},
+      // crust
+      {0.9962, 1.0000, {6.80, 3.90, 2.90}, {5.80, 3.20, 2.60}},
+  };
+  return m;
+}
+
+RadialSample EarthModel::at(double r) const {
+  r = std::clamp(r, 0.0, 1.0);
+  for (const Layer& l : layers_) {
+    if (r <= l.r1 || &l == &layers_.back()) {
+      const double w = (l.r1 > l.r0) ? (r - l.r0) / (l.r1 - l.r0) : 0.0;
+      const double wc = std::clamp(w, 0.0, 1.0);
+      return RadialSample{l.bottom.vp + wc * (l.top.vp - l.bottom.vp),
+                          l.bottom.vs + wc * (l.top.vs - l.bottom.vs),
+                          l.bottom.rho + wc * (l.top.rho - l.bottom.rho)};
+    }
+  }
+  return layers_.back().top;
+}
+
+double EarthModel::min_wave_speed(double r0, double r1) const {
+  double v = 1e300;
+  const auto speed = [](const RadialSample& s) { return s.vs > 0.0 ? s.vs : s.vp; };
+  // Piecewise linear: the extrema are at interval ends and layer breaks.
+  v = std::min(v, speed(at(r0)));
+  v = std::min(v, speed(at(r1)));
+  for (const Layer& l : layers_) {
+    if (l.r0 >= r0 && l.r0 <= r1) {
+      v = std::min({v, speed(l.bottom)});
+    }
+    if (l.r1 >= r0 && l.r1 <= r1) {
+      v = std::min({v, speed(l.top)});
+    }
+  }
+  return v;
+}
+
+}  // namespace esamr::geo

@@ -1,0 +1,45 @@
+// Radial earth models for the seismic-wave application (paper §IV-B).
+//
+// The paper meshes to the local seismic wavelength of PREM (Dziewonski &
+// Anderson 1981). We implement a PREM-like piecewise-linear radial model
+// with the major discontinuities (ICB, CMB, 660, 410, Moho) and
+// representative velocities/densities — the wavelength-adaptive meshing
+// only needs a radially heterogeneous model whose discontinuities the mesh
+// must align to (see DESIGN.md substitutions).
+#pragma once
+
+#include <vector>
+
+namespace esamr::geo {
+
+struct RadialSample {
+  double vp;   ///< P-wave speed (km/s)
+  double vs;   ///< S-wave speed (km/s; 0 in fluid layers)
+  double rho;  ///< density (g/cm^3)
+};
+
+class EarthModel {
+ public:
+  struct Layer {
+    double r0, r1;  ///< normalized radius range (r/R_earth)
+    RadialSample bottom, top;
+  };
+
+  /// PREM-like model, normalized radius in [0, 1].
+  static EarthModel prem_like();
+
+  /// Piecewise-linear sample; discontinuities take the layer above's bottom
+  /// value when `r` hits an interface exactly from above.
+  RadialSample at(double r) const;
+
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Smallest shear (or, in fluids, compressional) wave speed in [r0, r1] —
+  /// the speed that limits the local wavelength.
+  double min_wave_speed(double r0, double r1) const;
+
+ private:
+  std::vector<Layer> layers_;
+};
+
+}  // namespace esamr::geo

@@ -1,0 +1,53 @@
+#include "geo/rheology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esamr::geo {
+
+namespace {
+
+/// Smallest absolute angular distance, wrapping at 2 pi.
+double angle_dist(double a, double b) {
+  double d = std::fmod(std::abs(a - b), 2.0 * M_PI);
+  return std::min(d, 2.0 * M_PI - d);
+}
+
+}  // namespace
+
+double Rheology::viscosity(double temperature, double strain_rate_ii, double theta,
+                           double r) const {
+  const double t = std::clamp(temperature, 0.05, 1.0);
+  const double eps = std::max(strain_rate_ii, 1e-8);
+  double eta = eta0 * std::exp(activation * (1.0 / t - 1.0)) * std::pow(eps, strain_exponent);
+  // Plastic yielding at high strain rates (paper §IV-A).
+  eta = std::min(eta, yield_stress / (2.0 * eps));
+  // Plate-boundary weak zones, strongest near the surface.
+  for (const double pb : plate_boundaries) {
+    const double d = angle_dist(theta, pb);
+    if (d < plate_halfwidth && r > 0.85) {
+      const double taper = 0.5 * (1.0 + std::cos(M_PI * d / plate_halfwidth));
+      eta *= std::pow(plate_weakening, taper);
+    }
+  }
+  return std::clamp(eta, eta_min, eta_max);
+}
+
+double TemperatureModel::at(double theta, double r) const {
+  // Hot interior cooled by a surface boundary layer.
+  const double depth = 1.0 - r;
+  double t = 1.0 - std::exp(-depth / std::max(surface_layer, 1e-6));
+  t = 0.1 + 0.9 * t;
+  // Cold slabs descending from the plate boundaries.
+  for (const double sa : slab_angles) {
+    const double d = angle_dist(theta, sa);
+    if (d < slab_halfwidth && depth < slab_depth) {
+      const double across = 0.5 * (1.0 + std::cos(M_PI * d / slab_halfwidth));
+      const double along = 1.0 - depth / slab_depth;
+      t -= 0.6 * across * along;
+    }
+  }
+  return std::clamp(t, 0.05, 1.0);
+}
+
+}  // namespace esamr::geo

@@ -1,0 +1,46 @@
+// Mantle rheology and present-day temperature model for the mantle
+// convection application (paper §IV-A, Eq. (2) and the plate-boundary
+// model): temperature- and strain-rate-dependent viscosity
+//   eta(T, v) = eta0 * exp(c2 / T) * (eps_II)^c3
+// with plastic yielding at high strain rates and narrow plate-boundary
+// zones in which the viscosity is lowered by several orders of magnitude
+// (the red lines of paper Fig. 6). The driver replaces the energy-equation
+// solve by a present-day temperature model (thermal-age boundary layer plus
+// slabs), exactly as the paper's global runs do.
+#pragma once
+
+#include <vector>
+
+namespace esamr::geo {
+
+struct Rheology {
+  double eta0 = 1.0;             ///< reference viscosity prefactor (c1)
+  double activation = 9.0;       ///< temperature sensitivity (c2)
+  double strain_exponent = -0.3; ///< strain-rate weakening exponent (c3)
+  double yield_stress = 1.0e2;   ///< plastic yielding cap: eta <= tau_y / (2 eps_II)
+  double eta_min = 1.0e-4;
+  double eta_max = 1.0e4;
+  double plate_weakening = 1.0e-5;    ///< viscosity factor inside weak zones
+  double plate_halfwidth = 0.02;      ///< angular half width (~10 km wide zones)
+  std::vector<double> plate_boundaries;  ///< angular positions of weak zones
+
+  /// Effective viscosity at temperature T (nondimensional, ~[0,1]), second
+  /// strain-rate invariant eps_II, angular coordinate theta, radius r
+  /// (normalized; weak zones taper away from the surface).
+  double viscosity(double temperature, double strain_rate_ii, double theta, double r) const;
+};
+
+/// Present-day temperature model on the annulus (normalized radius in
+/// [r_inner, 1]): hot interior, cold thermal-age top boundary layer, and
+/// cold slabs descending at the plate boundaries.
+struct TemperatureModel {
+  double r_inner = 0.55;
+  double surface_layer = 0.06;   ///< thermal boundary layer thickness
+  double slab_depth = 0.18;      ///< how deep the slabs reach
+  double slab_halfwidth = 0.03;  ///< angular half width of slabs
+  std::vector<double> slab_angles;
+
+  double at(double theta, double r) const;
+};
+
+}  // namespace esamr::geo

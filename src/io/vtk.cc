@@ -1,0 +1,88 @@
+#include "io/vtk.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace esamr::io {
+
+template <int Dim>
+Geometry<Dim> vertex_geometry(const forest::Connectivity<Dim>& conn) {
+  return [&conn](int tree, std::array<double, Dim> ref) {
+    const auto& tv = conn.tree_to_vertex()[static_cast<std::size_t>(tree)];
+    std::array<double, 3> x{0.0, 0.0, 0.0};
+    for (int c = 0; c < forest::Topo<Dim>::num_corners; ++c) {
+      double w = 1.0;
+      for (int a = 0; a < Dim; ++a) {
+        const double r = ref[static_cast<std::size_t>(a)];
+        w *= ((c >> a) & 1) ? r : (1.0 - r);
+      }
+      const auto& v = conn.vertex_coords()[static_cast<std::size_t>(tv[static_cast<std::size_t>(c)])];
+      for (int d = 0; d < 3; ++d) x[static_cast<std::size_t>(d)] += w * v[static_cast<std::size_t>(d)];
+    }
+    return x;
+  };
+}
+
+template <int Dim>
+void write_forest_vtk(const forest::Forest<Dim>& f, const Geometry<Dim>& geom,
+                      const std::string& path,
+                      const std::vector<std::pair<std::string, std::vector<double>>>& cell_fields) {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (fp == nullptr) throw std::runtime_error("vtk: cannot open " + path);
+  const auto n = static_cast<std::size_t>(f.num_local());
+  constexpr int nc = forest::Topo<Dim>::num_corners;
+  constexpr double scale = 1.0 / static_cast<double>(forest::Octant<Dim>::root_len);
+
+  std::fprintf(fp, "# vtk DataFile Version 3.0\nesamr forest\nASCII\nDATASET UNSTRUCTURED_GRID\n");
+  std::fprintf(fp, "POINTS %zu double\n", n * nc);
+  f.for_each_local([&](int t, const forest::Octant<Dim>& o) {
+    for (int c = 0; c < nc; ++c) {
+      const auto cp = o.corner_point(c);
+      std::array<double, Dim> ref{};
+      for (int a = 0; a < Dim; ++a) {
+        ref[static_cast<std::size_t>(a)] = scale * cp[static_cast<std::size_t>(a)];
+      }
+      const auto x = geom(t, ref);
+      std::fprintf(fp, "%.9g %.9g %.9g\n", x[0], x[1], x[2]);
+    }
+  });
+  std::fprintf(fp, "CELLS %zu %zu\n", n, n * (nc + 1));
+  // VTK corner orders: quad is CCW, hexahedron is bottom CCW then top CCW.
+  static constexpr int vtk_perm2[4] = {0, 1, 3, 2};
+  static constexpr int vtk_perm3[8] = {0, 1, 3, 2, 4, 5, 7, 6};
+  for (std::size_t e = 0; e < n; ++e) {
+    std::fprintf(fp, "%d", nc);
+    for (int c = 0; c < nc; ++c) {
+      const int pc = (Dim == 2) ? vtk_perm2[c] : vtk_perm3[c];
+      std::fprintf(fp, " %zu", e * nc + static_cast<std::size_t>(pc));
+    }
+    std::fprintf(fp, "\n");
+  }
+  std::fprintf(fp, "CELL_TYPES %zu\n", n);
+  for (std::size_t e = 0; e < n; ++e) std::fprintf(fp, "%d\n", Dim == 2 ? 9 : 12);
+
+  std::fprintf(fp, "CELL_DATA %zu\n", n);
+  std::fprintf(fp, "SCALARS mpirank int 1\nLOOKUP_TABLE default\n");
+  for (std::size_t e = 0; e < n; ++e) std::fprintf(fp, "%d\n", f.comm().rank());
+  std::fprintf(fp, "SCALARS level int 1\nLOOKUP_TABLE default\n");
+  f.for_each_local([&](int, const forest::Octant<Dim>& o) {
+    std::fprintf(fp, "%d\n", static_cast<int>(o.level));
+  });
+  std::fprintf(fp, "SCALARS tree int 1\nLOOKUP_TABLE default\n");
+  f.for_each_local([&](int t, const forest::Octant<Dim>&) { std::fprintf(fp, "%d\n", t); });
+  for (const auto& [name, vals] : cell_fields) {
+    if (vals.size() != n) throw std::runtime_error("vtk: field size mismatch: " + name);
+    std::fprintf(fp, "SCALARS %s double 1\nLOOKUP_TABLE default\n", name.c_str());
+    for (const double v : vals) std::fprintf(fp, "%.9g\n", v);
+  }
+  std::fclose(fp);
+}
+
+template Geometry<2> vertex_geometry<2>(const forest::Connectivity<2>&);
+template Geometry<3> vertex_geometry<3>(const forest::Connectivity<3>&);
+template void write_forest_vtk<2>(const forest::Forest<2>&, const Geometry<2>&, const std::string&,
+                                  const std::vector<std::pair<std::string, std::vector<double>>>&);
+template void write_forest_vtk<3>(const forest::Forest<3>&, const Geometry<3>&, const std::string&,
+                                  const std::vector<std::pair<std::string, std::vector<double>>>&);
+
+}  // namespace esamr::io

@@ -1,0 +1,32 @@
+// Minimal legacy-VTK (ASCII unstructured grid) output for forests and
+// per-element fields. Each rank writes its own piece file; the files load
+// side by side in ParaView/VisIt. Geometry is supplied as a functor mapping
+// (tree, reference coordinates in [0,1]^Dim) to physical space — the forest
+// itself never stores floating-point geometry (paper §II-D).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "forest/forest.h"
+
+namespace esamr::io {
+
+template <int Dim>
+using Geometry = std::function<std::array<double, 3>(int tree, std::array<double, Dim> ref)>;
+
+/// Tri/bi-linear geometry interpolating the macro-mesh vertex coordinates.
+template <int Dim>
+Geometry<Dim> vertex_geometry(const forest::Connectivity<Dim>& conn);
+
+/// Write this rank's leaves as a VTK unstructured grid. `cell_fields` are
+/// per-leaf scalars (each vector has one entry per local leaf, SFC order);
+/// tree id, level, and owner rank are always included.
+template <int Dim>
+void write_forest_vtk(const forest::Forest<Dim>& f, const Geometry<Dim>& geom,
+                      const std::string& path,
+                      const std::vector<std::pair<std::string, std::vector<double>>>& cell_fields = {});
+
+}  // namespace esamr::io

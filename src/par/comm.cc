@@ -1,0 +1,191 @@
+#include "par/comm.h"
+
+#include <atomic>
+#include <ctime>
+#include <exception>
+#include <thread>
+
+namespace esamr::par {
+
+namespace {
+
+/// Matches a queued message against a (source, tag) pattern with wildcards.
+bool matches(const Message& m, int source, int tag) {
+  return (source == any_source || m.source == source) && (tag == any_tag || m.tag == tag);
+}
+
+/// Thrown inside peer ranks when some rank failed; unwinds them without
+/// recording a second error.
+struct WorldPoisoned {};
+
+}  // namespace
+
+/// Shared state for one SPMD section: mailboxes, a counting barrier, and
+/// slot arrays backing the collectives. Collectives follow the pattern
+/// "write own slot; barrier; read peers' slots; barrier", where the second
+/// barrier keeps a fast rank from starting the next collective while a slow
+/// one is still reading.
+class World {
+ public:
+  explicit World(int n)
+      : size(n), mail(static_cast<std::size_t>(n)), slots(static_cast<std::size_t>(n)),
+        a2a(static_cast<std::size_t>(n)) {
+    for (auto& m : mail) m = std::make_unique<Mailbox>();
+    for (auto& row : a2a) row.resize(static_cast<std::size_t>(n));
+  }
+
+  struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> q;
+  };
+
+  void barrier() {
+    std::unique_lock<std::mutex> lock(bar_m);
+    if (poisoned.load()) throw WorldPoisoned{};
+    const long gen = bar_gen;
+    if (++bar_count == size) {
+      bar_count = 0;
+      ++bar_gen;
+      bar_cv.notify_all();
+    } else {
+      bar_cv.wait(lock, [&] { return bar_gen != gen || poisoned.load(); });
+      if (bar_gen == gen && poisoned.load()) throw WorldPoisoned{};
+    }
+  }
+
+  /// Mark the section failed and wake every blocked rank so it can unwind.
+  void poison() {
+    poisoned.store(true);
+    {
+      std::lock_guard<std::mutex> lock(bar_m);
+      bar_cv.notify_all();
+    }
+    for (auto& box : mail) {
+      std::lock_guard<std::mutex> lock(box->m);
+      box->cv.notify_all();
+    }
+  }
+
+  const int size;
+  std::vector<std::unique_ptr<Mailbox>> mail;
+  std::vector<std::vector<std::byte>> slots;
+  std::vector<std::vector<std::vector<std::byte>>> a2a;  // [src][dst]
+  std::atomic<bool> poisoned{false};
+
+ private:
+  std::mutex bar_m;
+  std::condition_variable bar_cv;
+  int bar_count = 0;
+  long bar_gen = 0;
+};
+
+int Comm::size() const noexcept { return world_->size; }
+
+void Comm::send_bytes(int dest, int tag, const void* data, std::size_t nbytes) {
+  if (dest < 0 || dest >= world_->size) throw std::runtime_error("par::send: bad destination rank");
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.data.resize(nbytes);
+  if (nbytes > 0) std::memcpy(msg.data.data(), data, nbytes);
+  auto& box = *world_->mail[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.m);
+    box.q.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message Comm::recv(int source, int tag) {
+  auto& box = *world_->mail[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.m);
+  for (;;) {
+    if (world_->poisoned.load()) throw WorldPoisoned{};
+    for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message out = std::move(*it);
+        box.q.erase(it);
+        return out;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Comm::iprobe(int source, int tag) {
+  auto& box = *world_->mail[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.m);
+  for (const auto& m : box.q) {
+    if (matches(m, source, tag)) return true;
+  }
+  return false;
+}
+
+void Comm::barrier() { world_->barrier(); }
+
+std::vector<std::vector<std::byte>> Comm::allgather_bytes(const void* data, std::size_t nbytes) {
+  auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
+  slot.resize(nbytes);
+  if (nbytes > 0) std::memcpy(slot.data(), data, nbytes);
+  world_->barrier();
+  std::vector<std::vector<std::byte>> out(world_->slots.begin(), world_->slots.end());
+  world_->barrier();
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
+    std::vector<std::vector<std::byte>> sendbufs) {
+  if (static_cast<int>(sendbufs.size()) != world_->size) {
+    throw std::runtime_error("par::alltoall: sendbufs.size() != nranks");
+  }
+  world_->a2a[static_cast<std::size_t>(rank_)] = std::move(sendbufs);
+  world_->barrier();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(world_->size));
+  for (int s = 0; s < world_->size; ++s) {
+    // a2a[s][rank_] is read by exactly one rank (this one), so moving is safe.
+    out[static_cast<std::size_t>(s)] =
+        std::move(world_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)]);
+  }
+  world_->barrier();
+  return out;
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  if (nranks < 1) throw std::runtime_error("par::run: nranks must be >= 1");
+  World world(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      Comm comm(&world, r);
+      try {
+        fn(comm);
+      } catch (const WorldPoisoned&) {
+        // Another rank failed first; unwind quietly.
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        world.poison();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+double wall_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+}  // namespace esamr::par

@@ -1,0 +1,219 @@
+// esamr::par — in-process SPMD message-passing runtime.
+//
+// This is the MPI substitute for the reproduction (see DESIGN.md): P "ranks"
+// run as threads inside one process and communicate exclusively through the
+// Comm interface below — buffered tagged point-to-point messages plus the
+// small set of collectives the forest algorithms need (barrier, bcast,
+// allgather(v), allreduce, exclusive scan, alltoallv). Algorithms written
+// against Comm are structured exactly as they would be against MPI: all
+// octant/element storage is rank-local and every exchange is explicit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace esamr::par {
+
+/// Wildcard for Comm::recv / Comm::iprobe source matching.
+inline constexpr int any_source = -1;
+/// Wildcard for Comm::recv / Comm::iprobe tag matching.
+inline constexpr int any_tag = -1;
+
+/// Reduction operators for Comm::allreduce.
+enum class ReduceOp { sum, min, max, logical_or, logical_and };
+
+/// A received point-to-point message: envelope plus raw payload bytes.
+struct Message {
+  int source = any_source;
+  int tag = any_tag;
+  std::vector<std::byte> data;
+
+  /// Reinterpret the payload as an array of trivially copyable T.
+  template <typename T>
+  std::vector<T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data.size() % sizeof(T) != 0) {
+      throw std::runtime_error("par::Message::as: size not a multiple of element size");
+    }
+    std::vector<T> out(data.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), data.data(), data.size());
+    return out;
+  }
+
+  /// Reinterpret the payload as exactly one T.
+  template <typename T>
+  T value() const {
+    auto v = as<T>();
+    if (v.size() != 1) {
+      throw std::runtime_error("par::Message::value: payload is not a single element");
+    }
+    return v[0];
+  }
+};
+
+class World;
+
+/// Per-rank communicator handle. One Comm per rank thread; methods are only
+/// ever invoked by the owning rank's thread (SPMD style).
+class Comm {
+ public:
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  // --- Point-to-point -----------------------------------------------------
+  // Sends are buffered and never block; receives block until a matching
+  // message (by source and tag, wildcards allowed) is available.
+
+  void send_bytes(int dest, int tag, const void* data, std::size_t nbytes);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> payload) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, payload.data(), payload.size_bytes());
+  }
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& payload) {
+    send(dest, tag, std::span<const T>(payload));
+  }
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, &v, sizeof(T));
+  }
+
+  /// Blocking receive of the first message matching (source, tag).
+  Message recv(int source = any_source, int tag = any_tag);
+
+  /// Non-blocking test for a matching message.
+  bool iprobe(int source = any_source, int tag = any_tag);
+
+  // --- Collectives ---------------------------------------------------------
+  // All ranks must call each collective in the same order.
+
+  void barrier();
+
+  /// Gather `nbytes` bytes from every rank; result[r] is rank r's payload.
+  std::vector<std::vector<std::byte>> allgather_bytes(const void* data, std::size_t nbytes);
+
+  /// Personalized all-to-all; sendbufs[d] goes to rank d, result[s] came from s.
+  std::vector<std::vector<std::byte>> alltoall_bytes(std::vector<std::vector<std::byte>> sendbufs);
+
+  /// Gather one fixed-size value per rank.
+  template <typename T>
+  std::vector<T> allgather(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = allgather_bytes(&v, sizeof(T));
+    std::vector<T> out(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) std::memcpy(&out[r], raw[r].data(), sizeof(T));
+    return out;
+  }
+
+  /// Gather a variable-length array from every rank; result[r] = rank r's array.
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = allgather_bytes(v.data(), v.size_bytes());
+    std::vector<std::vector<T>> out(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) {
+      out[r].resize(raw[r].size() / sizeof(T));
+      if (!out[r].empty()) std::memcpy(out[r].data(), raw[r].data(), raw[r].size());
+    }
+    return out;
+  }
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv(const std::vector<T>& v) {
+    return allgatherv(std::span<const T>(v));
+  }
+
+  template <typename T>
+  T allreduce(T v, ReduceOp op) {
+    auto all = allgather(v);
+    T acc = all[0];
+    for (std::size_t r = 1; r < all.size(); ++r) {
+      switch (op) {
+        case ReduceOp::sum: acc = static_cast<T>(acc + all[r]); break;
+        case ReduceOp::min: acc = all[r] < acc ? all[r] : acc; break;
+        case ReduceOp::max: acc = acc < all[r] ? all[r] : acc; break;
+        case ReduceOp::logical_or: acc = static_cast<T>(acc || all[r]); break;
+        case ReduceOp::logical_and: acc = static_cast<T>(acc && all[r]); break;
+      }
+    }
+    return acc;
+  }
+
+  /// Exclusive prefix sum; rank 0 receives T{} (zero).
+  template <typename T>
+  T exscan_sum(T v) {
+    auto all = allgather(v);
+    T acc{};
+    for (int r = 0; r < rank_; ++r) acc = static_cast<T>(acc + all[r]);
+    return acc;
+  }
+
+  template <typename T>
+  T bcast(const T& v, int root) {
+    return allgather(v)[root];
+  }
+
+  template <typename T>
+  std::vector<T> bcast_vector(const std::vector<T>& v, int root) {
+    return allgatherv(std::span<const T>(v))[root];
+  }
+
+  /// Typed personalized all-to-all: send[d] goes to rank d; result[s] from rank s.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::vector<std::byte>> raw(send.size());
+    for (std::size_t d = 0; d < send.size(); ++d) {
+      raw[d].resize(send[d].size() * sizeof(T));
+      if (!send[d].empty()) std::memcpy(raw[d].data(), send[d].data(), raw[d].size());
+    }
+    auto got = alltoall_bytes(std::move(raw));
+    std::vector<std::vector<T>> out(got.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      out[s].resize(got[s].size() / sizeof(T));
+      if (!out[s].empty()) std::memcpy(out[s].data(), got[s].data(), got[s].size());
+    }
+    return out;
+  }
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Launch an SPMD section: `fn(comm)` runs once per rank on its own thread.
+/// Exceptions thrown by any rank are re-thrown (first one) after all join.
+void run(int nranks, const std::function<void(Comm&)>& fn);
+
+/// SPMD section that collects a per-rank result; result[r] is rank r's return.
+template <typename R>
+std::vector<R> run_collect(int nranks, const std::function<R(Comm&)>& fn) {
+  std::vector<R> out(static_cast<std::size_t>(nranks));
+  run(nranks, [&](Comm& c) { out[static_cast<std::size_t>(c.rank())] = fn(c); });
+  return out;
+}
+
+/// CPU time consumed by the calling thread, in seconds. Used as the scaling
+/// metric so that timesharing P rank-threads over one physical core does not
+/// pollute per-rank cost measurements (see DESIGN.md).
+double thread_cpu_seconds();
+
+/// Monotonic wall-clock time in seconds.
+double wall_seconds();
+
+}  // namespace esamr::par

@@ -1,0 +1,107 @@
+// Continuous Galerkin (tri/bi-linear) finite elements on the forest, built
+// on Nodes (paper §II-E): isoparametric Q1 elements with Gauss quadrature,
+// hanging-node constraints applied through the slot expansions of
+// NodeNumbering, and distributed assembly into DistCsr. Provides the scalar
+// diffusion operator (solver verification) and the variable-viscosity
+// Stokes system with Dohrmann–Bochev pressure-projection stabilization used
+// by the mantle-convection application (paper §IV-A, Eq. (2)).
+#pragma once
+
+#include <functional>
+
+#include "forest/nodes.h"
+#include "sfem/geometry.h"
+#include "solver/dist_csr.h"
+
+namespace esamr::sfem {
+
+/// The cG function space: forest + node numbering + element corner geometry
+/// + global Dirichlet boundary set.
+template <int Dim>
+struct CgSpace {
+  static constexpr int nc = forest::Topo<Dim>::num_corners;
+  using Key = typename forest::NodeNumbering<Dim>::Key;
+
+  const forest::Forest<Dim>* forest = nullptr;
+  const forest::NodeNumbering<Dim>* nodes = nullptr;
+  GeomFn<Dim> geom;
+
+  /// Physical corner positions per local element (isoparametric Q1).
+  std::vector<std::array<std::array<double, 3>, nc>> corners;
+  /// Sorted global ids of all Dirichlet-boundary nodes (replicated union).
+  std::vector<std::int64_t> boundary_gids;
+
+  static CgSpace build(const forest::Forest<Dim>& f, const forest::NodeNumbering<Dim>& n,
+                       GeomFn<Dim> geom);
+
+  bool on_boundary(std::int64_t gid) const {
+    return std::binary_search(boundary_gids.begin(), boundary_gids.end(), gid);
+  }
+
+  /// Physical position of a node key.
+  std::array<double, 3> position(const Key& k) const {
+    std::array<double, Dim> ref{};
+    for (int a = 0; a < Dim; ++a) {
+      ref[static_cast<std::size_t>(a)] = static_cast<double>(k[static_cast<std::size_t>(a + 1)]) /
+                                         forest::Octant<Dim>::root_len;
+    }
+    return geom(k[0], ref);
+  }
+
+  /// Physical position of a locally referenced gid.
+  std::array<double, 3> position_of_gid(std::int64_t gid) const {
+    return position(nodes->key_of(gid));
+  }
+
+  /// Positions of this rank's owned nodes in gid order.
+  std::vector<std::array<double, 3>> owned_positions() const;
+};
+
+/// Assemble -div(kappa grad u) = f with Dirichlet data g on the physical
+/// boundary (symmetric elimination). Returns the operator; `b` receives the
+/// owned right-hand side.
+template <int Dim>
+solver::DistCsr assemble_poisson(const CgSpace<Dim>& space,
+                                 const std::function<double(const std::array<double, 3>&)>& kappa,
+                                 const std::function<double(const std::array<double, 3>&)>& f,
+                                 const std::function<double(const std::array<double, 3>&)>& g,
+                                 std::vector<double>& b);
+
+/// The assembled Stokes saddle-point system (paper Eq. (2a)-(2b)):
+///   [ A  B^T ] [u]   [f]
+///   [ B  -C  ] [p] = [0]
+/// with A the variable-viscosity vector Laplacian in strain form, B the
+/// (negative) divergence, and C the Dohrmann–Bochev pressure-projection
+/// stabilization scaled by 1/eta. Dofs are interleaved per node:
+/// (u_0..u_{Dim-1}, p). Velocity Dirichlet (no-slip) on the physical
+/// boundary; one pressure dof is pinned to remove the constant null space.
+template <int Dim>
+struct StokesSystem {
+  solver::DistCsr matrix;                 ///< full saddle-point operator
+  solver::DistCsr velocity_block;         ///< A alone (Dim dofs/node) for the AMG
+  std::vector<double> rhs;                ///< owned right-hand side
+  std::vector<double> pressure_diag;      ///< owned (1/eta)-mass lumped diag
+  std::vector<std::int64_t> dof_offsets;  ///< rank offsets of the full system
+};
+
+/// `viscosity(e, x)` is evaluated per local element at quadrature points
+/// (lets the caller bake in temperature / strain-rate dependence);
+/// `body_force(x)` is the buoyancy term.
+template <int Dim>
+StokesSystem<Dim> assemble_stokes(
+    const CgSpace<Dim>& space,
+    const std::function<double(std::int64_t, const std::array<double, 3>&)>& viscosity,
+    const std::function<std::array<double, 3>(const std::array<double, 3>&)>& body_force);
+
+/// Fetch the values of arbitrary global dofs from their owners (one request
+/// round-trip); the result is aligned with `gids`.
+std::vector<double> fetch_gid_values(par::Comm& comm, const std::vector<std::int64_t>& offsets,
+                                     std::span<const double> owned,
+                                     const std::vector<std::int64_t>& gids);
+
+extern template struct CgSpace<2>;
+extern template struct CgSpace<3>;
+extern template struct StokesSystem<2>;
+extern template struct StokesSystem<3>;
+
+}  // namespace esamr::sfem

@@ -1,0 +1,363 @@
+#include "sfem/dg_advection.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+namespace esamr::sfem {
+
+namespace {
+
+// Carpenter & Kennedy (1994) five-stage fourth-order 2N-storage RK.
+constexpr double kRkA[5] = {0.0, -567301805773.0 / 1357537059087.0,
+                            -2404267990393.0 / 2016746695238.0,
+                            -3550918686646.0 / 2091501179385.0,
+                            -1275806237668.0 / 842570457699.0};
+constexpr double kRkB[5] = {1432997174477.0 / 9575080441755.0, 5161836677717.0 / 13612068292357.0,
+                            1720146321549.0 / 2090206949498.0, 3134564353537.0 / 4481467310338.0,
+                            2277821191437.0 / 14882151754819.0};
+
+}  // namespace
+
+template <int Dim>
+Advection<Dim>::Advection(const DgMesh<Dim>* mesh, Velocity velocity)
+    : mesh_(mesh), velocity_(std::move(velocity)) {
+  const int np = mesh_->np, nv = mesh_->nv, npf = mesh_->npf;
+  const auto n = static_cast<std::size_t>(mesh_->n_local);
+  fcoef_.resize(n * static_cast<std::size_t>(nv) * Dim);
+  un_.resize(n * DgMesh<Dim>::nfaces * static_cast<std::size_t>(npf));
+  max_speed_.assign(n, 0.0);
+  for (int c = 0; c < 2; ++c) {
+    interp_t_[c].assign(static_cast<std::size_t>(np) * np, 0.0);
+    for (int i = 0; i < np; ++i) {
+      for (int j = 0; j < np; ++j) {
+        interp_t_[c][static_cast<std::size_t>(i * np + j)] =
+            mesh_->basis.interp_half[c][static_cast<std::size_t>(j * np + i)];
+      }
+    }
+  }
+  face_idx_.resize(DgMesh<Dim>::nfaces);
+  for (int f = 0; f < DgMesh<Dim>::nfaces; ++f) {
+    face_idx_[static_cast<std::size_t>(f)] = face_node_indices(Dim, np, f);
+  }
+
+  // Contravariant flux coefficients and face normal velocities.
+  for (std::size_t e = 0; e < n; ++e) {
+    for (int node = 0; node < nv; ++node) {
+      const std::size_t nb = e * static_cast<std::size_t>(nv) + static_cast<std::size_t>(node);
+      const std::array<double, 3> x{mesh_->coords[nb * 3], mesh_->coords[nb * 3 + 1],
+                                    mesh_->coords[nb * 3 + 2]};
+      const auto u = velocity_(x);
+      double speed = 0.0;
+      for (int d = 0; d < Dim; ++d) speed += u[static_cast<std::size_t>(d)] * u[static_cast<std::size_t>(d)];
+      max_speed_[e] = std::max(max_speed_[e], std::sqrt(speed));
+      for (int a = 0; a < Dim; ++a) {
+        double ua = 0.0;
+        for (int d = 0; d < Dim; ++d) {
+          ua += mesh_->jinv[(nb * Dim + static_cast<std::size_t>(a)) * Dim +
+                            static_cast<std::size_t>(d)] *
+                u[static_cast<std::size_t>(d)];
+        }
+        fcoef_[nb * Dim + static_cast<std::size_t>(a)] = mesh_->jdet[nb] * ua;
+      }
+    }
+    for (int f = 0; f < DgMesh<Dim>::nfaces; ++f) {
+      const auto& fni = face_idx_[static_cast<std::size_t>(f)];
+      for (int q = 0; q < npf; ++q) {
+        const std::size_t nb =
+            e * static_cast<std::size_t>(nv) + static_cast<std::size_t>(fni[static_cast<std::size_t>(q)]);
+        const std::array<double, 3> x{mesh_->coords[nb * 3], mesh_->coords[nb * 3 + 1],
+                                      mesh_->coords[nb * 3 + 2]};
+        const auto u = velocity_(x);
+        const std::size_t fb = (e * DgMesh<Dim>::nfaces + static_cast<std::size_t>(f)) *
+                                   static_cast<std::size_t>(npf) +
+                               static_cast<std::size_t>(q);
+        double un = 0.0;
+        for (int d = 0; d < Dim; ++d) {
+          un += u[static_cast<std::size_t>(d)] * mesh_->fnormal[fb * 3 + static_cast<std::size_t>(d)];
+        }
+        un_[fb] = un;
+      }
+    }
+  }
+}
+
+template <int Dim>
+void Advection<Dim>::rhs(std::span<const double> c, std::span<double> out) const {
+  const int np = mesh_->np, nv = mesh_->nv, npf = mesh_->npf;
+  const auto n = static_cast<std::size_t>(mesh_->n_local);
+  const Basis1d& b = mesh_->basis;
+  const auto ghost_c = mesh_->exchange(c, nv);
+
+  std::vector<double> flux(static_cast<std::size_t>(nv)), dflux(static_cast<std::size_t>(nv));
+  // Face-local scratch.
+  std::vector<double> cm(static_cast<std::size_t>(npf)), cp(static_cast<std::size_t>(npf));
+  std::vector<double> t0(static_cast<std::size_t>(npf)), t1(static_cast<std::size_t>(npf));
+  std::vector<double> lift(static_cast<std::size_t>(npf));
+
+  // Tensor quadrature weight over the face tangentials.
+  std::vector<double> wf(static_cast<std::size_t>(npf));
+  for (int q = 0; q < npf; ++q) {
+    double w = b.weights[static_cast<std::size_t>(q % np)];
+    if (Dim == 3) w *= b.weights[static_cast<std::size_t>(q / np)];
+    wf[static_cast<std::size_t>(q)] = w;
+  }
+
+  for (std::size_t e = 0; e < n; ++e) {
+    const double* ce = c.data() + e * static_cast<std::size_t>(nv);
+    double* oe = out.data() + e * static_cast<std::size_t>(nv);
+    std::fill(oe, oe + nv, 0.0);
+
+    // Volume term: -(1/detJ) sum_a D_a (fcoef_a * C).
+    for (int a = 0; a < Dim; ++a) {
+      for (int node = 0; node < nv; ++node) {
+        const std::size_t nb = e * static_cast<std::size_t>(nv) + static_cast<std::size_t>(node);
+        flux[static_cast<std::size_t>(node)] =
+            fcoef_[nb * Dim + static_cast<std::size_t>(a)] * ce[node];
+      }
+      apply_axis(Dim, np, a, b.diff.data(), flux.data(), dflux.data());
+      for (int node = 0; node < nv; ++node) {
+        const std::size_t nb = e * static_cast<std::size_t>(nv) + static_cast<std::size_t>(node);
+        oe[node] -= dflux[static_cast<std::size_t>(node)] / mesh_->jdet[nb];
+      }
+    }
+
+    // Face terms.
+    for (int f = 0; f < DgMesh<Dim>::nfaces; ++f) {
+      const auto& side = mesh_->face(e, f);
+      if (side.kind == DgMesh<Dim>::FaceKind::boundary) continue;
+      const auto& fni = face_idx_[static_cast<std::size_t>(f)];
+      for (int q = 0; q < npf; ++q) {
+        cm[static_cast<std::size_t>(q)] = ce[fni[static_cast<std::size_t>(q)]];
+      }
+      const std::size_t fb0 =
+          (e * DgMesh<Dim>::nfaces + static_cast<std::size_t>(f)) * static_cast<std::size_t>(npf);
+
+      const auto nbr_values = [&](int slot, std::span<double> dst) {
+        const double* src =
+            side.nbr_ghost[static_cast<std::size_t>(slot)]
+                ? ghost_c.data() + static_cast<std::size_t>(side.nbr[static_cast<std::size_t>(slot)]) * nv
+                : c.data() + static_cast<std::size_t>(side.nbr[static_cast<std::size_t>(slot)]) * nv;
+        const auto& nfni = face_idx_[static_cast<std::size_t>(side.nbr_face)];
+        for (int q = 0; q < npf; ++q) {
+          dst[static_cast<std::size_t>(q)] =
+              src[nfni[static_cast<std::size_t>(side.node_map[static_cast<std::size_t>(q)])]];
+        }
+      };
+
+      if (side.kind == DgMesh<Dim>::FaceKind::same ||
+          side.kind == DgMesh<Dim>::FaceKind::coarse) {
+        nbr_values(0, cp);
+        if (side.kind == DgMesh<Dim>::FaceKind::coarse) {
+          // Interpolate the (orientation-aligned) coarse face to my quadrant.
+          std::memcpy(t0.data(), cp.data(), sizeof(double) * static_cast<std::size_t>(npf));
+          for (int k = 0; k < Dim - 1; ++k) {
+            apply_face_axis(Dim, np, k, b.interp_half[(side.half_bits >> k) & 1].data(), t0.data(),
+                            t1.data());
+            std::swap(t0, t1);
+          }
+          std::memcpy(cp.data(), t0.data(), sizeof(double) * static_cast<std::size_t>(npf));
+        }
+        for (int q = 0; q < npf; ++q) {
+          const double un = un_[fb0 + static_cast<std::size_t>(q)];
+          const double a = cm[static_cast<std::size_t>(q)], p = cp[static_cast<std::size_t>(q)];
+          const double fstar = 0.5 * un * (a + p) - 0.5 * std::abs(un) * (p - a);
+          // Strong form: u_t = -div F + M^{-1} \oint phi (F.n - F*) ds.
+          const double df = un * a - fstar;
+          const int node = fni[static_cast<std::size_t>(q)];
+          const std::size_t nb = e * static_cast<std::size_t>(nv) + static_cast<std::size_t>(node);
+          oe[node] += df * mesh_->fsj[fb0 + static_cast<std::size_t>(q)] *
+                      wf[static_cast<std::size_t>(q)] / mesh_->mass[nb];
+        }
+      } else {  // fine: integrate each subface at the fine resolution
+        const double scale = Dim == 3 ? 0.25 : 0.5;  // d(coarse ref)/d(fine ref) per axis
+        for (int s = 0; s < DgMesh<Dim>::nsub; ++s) {
+          // My values, u.n and sJ interpolated to the subface points.
+          std::vector<double> csub(static_cast<std::size_t>(npf)),
+              unsub(static_cast<std::size_t>(npf)), sjsub(static_cast<std::size_t>(npf));
+          const auto interp_sub = [&](const double* src, double* dst) {
+            std::memcpy(t0.data(), src, sizeof(double) * static_cast<std::size_t>(npf));
+            for (int k = 0; k < Dim - 1; ++k) {
+              apply_face_axis(Dim, np, k, b.interp_half[(s >> k) & 1].data(), t0.data(), t1.data());
+              std::swap(t0, t1);
+            }
+            std::memcpy(dst, t0.data(), sizeof(double) * static_cast<std::size_t>(npf));
+          };
+          interp_sub(cm.data(), csub.data());
+          interp_sub(un_.data() + fb0, unsub.data());
+          interp_sub(mesh_->fsj.data() + fb0, sjsub.data());
+          nbr_values(s, cp);
+          for (int q = 0; q < npf; ++q) {
+            const double un = unsub[static_cast<std::size_t>(q)];
+            const double a = csub[static_cast<std::size_t>(q)], p = cp[static_cast<std::size_t>(q)];
+            const double fstar = 0.5 * un * (a + p) - 0.5 * std::abs(un) * (p - a);
+            lift[static_cast<std::size_t>(q)] =
+                (un * a - fstar) * sjsub[static_cast<std::size_t>(q)] * wf[static_cast<std::size_t>(q)] * scale;
+          }
+          // Lift through the transposed interpolation onto my face nodes.
+          std::memcpy(t0.data(), lift.data(), sizeof(double) * static_cast<std::size_t>(npf));
+          for (int k = 0; k < Dim - 1; ++k) {
+            apply_face_axis(Dim, np, k, interp_t_[(s >> k) & 1].data(), t0.data(), t1.data());
+            std::swap(t0, t1);
+          }
+          for (int q = 0; q < npf; ++q) {
+            const int node = fni[static_cast<std::size_t>(q)];
+            const std::size_t nb = e * static_cast<std::size_t>(nv) + static_cast<std::size_t>(node);
+            oe[node] += t0[static_cast<std::size_t>(q)] / mesh_->mass[nb];
+          }
+        }
+      }
+    }
+  }
+}
+
+template <int Dim>
+void Advection<Dim>::step(std::vector<double>& c, double dt) const {
+  std::vector<double> res(c.size(), 0.0), k(c.size());
+  for (int stage = 0; stage < 5; ++stage) {
+    rhs(c, k);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      res[i] = kRkA[stage] * res[i] + dt * k[i];
+      c[i] += kRkB[stage] * res[i];
+    }
+  }
+}
+
+template <int Dim>
+double Advection<Dim>::stable_dt(double cfl) const {
+  double dt = 1e300;
+  for (std::size_t e = 0; e < static_cast<std::size_t>(mesh_->n_local); ++e) {
+    const double s = std::max(max_speed_[e], 1e-14);
+    const double nn = std::max(1, mesh_->degree * mesh_->degree);
+    dt = std::min(dt, cfl * mesh_->hmin[e] / (s * nn));
+  }
+  return mesh_->forest->comm().allreduce(dt, par::ReduceOp::min);
+}
+
+template <int Dim>
+double Advection<Dim>::integral(std::span<const double> c) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) acc += mesh_->mass[i] * c[i];
+  return mesh_->forest->comm().allreduce(acc, par::ReduceOp::sum);
+}
+
+template <int Dim>
+double Advection<Dim>::l2_error(
+    std::span<const double> c,
+    const std::function<double(const std::array<double, 3>&)>& exact) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const std::array<double, 3> x{mesh_->coords[i * 3], mesh_->coords[i * 3 + 1],
+                                  mesh_->coords[i * 3 + 2]};
+    const double d = c[i] - exact(x);
+    acc += mesh_->mass[i] * d * d;
+  }
+  return std::sqrt(mesh_->forest->comm().allreduce(acc, par::ReduceOp::sum));
+}
+
+// --- AmrAdvectionDriver -------------------------------------------------------
+
+template <int Dim>
+AmrAdvectionDriver<Dim>::AmrAdvectionDriver(par::Comm& comm,
+                                            const forest::Connectivity<Dim>* conn,
+                                            GeomFn<Dim> geom,
+                                            typename Advection<Dim>::Velocity velocity, int degree,
+                                            int initial_level, int max_level)
+    : comm_(&comm), conn_(conn), geom_(std::move(geom)), velocity_(std::move(velocity)),
+      degree_(degree), min_level_(initial_level), max_level_(max_level),
+      forest_(forest::Forest<Dim>::new_uniform(comm, conn, initial_level)) {
+  rebuild();
+}
+
+template <int Dim>
+void AmrAdvectionDriver<Dim>::rebuild() {
+  ghost_ = std::make_unique<forest::GhostLayer<Dim>>(forest::GhostLayer<Dim>::build(forest_));
+  mesh_ = std::make_unique<DgMesh<Dim>>(DgMesh<Dim>::build(forest_, *ghost_, degree_, geom_));
+  adv_ = std::make_unique<Advection<Dim>>(mesh_.get(), velocity_);
+}
+
+template <int Dim>
+void AmrAdvectionDriver<Dim>::initialize(
+    const std::function<double(const std::array<double, 3>&)>& c0, int initial_adapt_rounds,
+    double refine_tol, double coarsen_tol) {
+  const auto sample = [&]() {
+    c_.resize(static_cast<std::size_t>(mesh_->n_local) * mesh_->nv);
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      c_[i] = c0({mesh_->coords[i * 3], mesh_->coords[i * 3 + 1], mesh_->coords[i * 3 + 2]});
+    }
+  };
+  sample();
+  for (int r = 0; r < initial_adapt_rounds; ++r) {
+    adapt(refine_tol, coarsen_tol);
+    sample();  // resample rather than interpolate while setting up
+  }
+}
+
+template <int Dim>
+void AmrAdvectionDriver<Dim>::adapt(double refine_tol, double coarsen_tol) {
+  using Oct = forest::Octant<Dim>;
+  const double t0 = par::thread_cpu_seconds();
+  const int nv = mesh_->nv;
+
+  // Elementwise indicator: nodal range of c.
+  std::map<std::pair<int, std::uint64_t>, double> range;
+  {
+    std::size_t e = 0;
+    forest_.for_each_local([&](int t, const Oct& o) {
+      double lo = 1e300, hi = -1e300;
+      for (int node = 0; node < nv; ++node) {
+        const double v = c_[e * static_cast<std::size_t>(nv) + static_cast<std::size_t>(node)];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      range[{t, o.key() ^ static_cast<std::uint64_t>(o.level) << 58}] = hi - lo;
+      ++e;
+    });
+  }
+  const auto key_of = [](const Oct& o) {
+    return o.key() ^ static_cast<std::uint64_t>(o.level) << 58;
+  };
+
+  const auto old_count = forest_.num_global();
+  std::vector<std::vector<Oct>> old_trees;
+  old_trees.reserve(static_cast<std::size_t>(forest_.num_trees()));
+  for (int t = 0; t < forest_.num_trees(); ++t) old_trees.push_back(forest_.tree(t));
+
+  forest_.refine(max_level_, false, [&](int t, const Oct& o) {
+    const auto it = range.find({t, key_of(o)});
+    return it != range.end() && it->second > refine_tol;
+  });
+  forest_.coarsen(false, [&](int t, const Oct& parent) {
+    if (parent.level < min_level_) return false;
+    for (int ch = 0; ch < forest::Topo<Dim>::num_children; ++ch) {
+      const auto it = range.find({t, key_of(parent.child(ch))});
+      if (it == range.end() || it->second > coarsen_tol) return false;
+    }
+    return true;
+  });
+  forest_.balance();
+  c_ = transfer_fields<Dim>(old_trees, forest_, c_, 1, mesh_->basis);
+  forest_.partition_payload(nullptr, nv, c_);
+  adapted_away_ += std::llabs(forest_.num_global() - old_count);
+  rebuild();
+  t_amr_ += par::thread_cpu_seconds() - t0;
+}
+
+template <int Dim>
+void AmrAdvectionDriver<Dim>::run(int nsteps, int adapt_every, double cfl, double refine_tol,
+                                  double coarsen_tol) {
+  for (int s = 0; s < nsteps; ++s) {
+    if (adapt_every > 0 && s > 0 && s % adapt_every == 0) adapt(refine_tol, coarsen_tol);
+    const double t0 = par::thread_cpu_seconds();
+    const double dt = adv_->stable_dt(cfl);
+    adv_->step(c_, dt);
+    t_solve_ += par::thread_cpu_seconds() - t0;
+  }
+}
+
+template class Advection<2>;
+template class Advection<3>;
+template class AmrAdvectionDriver<2>;
+template class AmrAdvectionDriver<3>;
+
+}  // namespace esamr::sfem

@@ -1,0 +1,75 @@
+#include "sfem/geometry.h"
+
+#include <cmath>
+
+namespace esamr::sfem {
+
+template <int Dim>
+GeomFn<Dim> vertex_map(const forest::Connectivity<Dim>& conn) {
+  return [&conn](int tree, std::array<double, Dim> ref) {
+    const auto& tv = conn.tree_to_vertex()[static_cast<std::size_t>(tree)];
+    std::array<double, 3> x{0.0, 0.0, 0.0};
+    for (int c = 0; c < forest::Topo<Dim>::num_corners; ++c) {
+      double w = 1.0;
+      for (int a = 0; a < Dim; ++a) {
+        const double r = ref[static_cast<std::size_t>(a)];
+        w *= ((c >> a) & 1) ? r : (1.0 - r);
+      }
+      const auto& v =
+          conn.vertex_coords()[static_cast<std::size_t>(tv[static_cast<std::size_t>(c)])];
+      for (int d = 0; d < 3; ++d) {
+        x[static_cast<std::size_t>(d)] += w * v[static_cast<std::size_t>(d)];
+      }
+    }
+    return x;
+  };
+}
+
+GeomFn<3> shell_map(double inner_radius, double outer_radius) {
+  // Same face frames as Connectivity<3>::shell().
+  struct Face {
+    std::array<double, 3> normal, du, dv;
+  };
+  static const std::array<Face, 6> faces{{
+      {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+      {{-1, 0, 0}, {0, 0, 1}, {0, 1, 0}},
+      {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}},
+      {{0, -1, 0}, {1, 0, 0}, {0, 0, 1}},
+      {{0, 0, 1}, {1, 0, 0}, {0, 1, 0}},
+      {{0, 0, -1}, {0, 1, 0}, {1, 0, 0}},
+  }};
+  return [inner_radius, outer_radius](int tree, std::array<double, 3> ref) {
+    const int face = tree / 4;
+    const int pv = (tree % 4) / 2;
+    const int pu = tree % 2;
+    // Equiangular coordinates on [-1,1] across the whole cap.
+    const double su = (pu + ref[0]) - 1.0;
+    const double sv = (pv + ref[1]) - 1.0;
+    const double a = std::tan(M_PI / 4.0 * su);
+    const double b = std::tan(M_PI / 4.0 * sv);
+    const Face& fr = faces[static_cast<std::size_t>(face)];
+    std::array<double, 3> dir{};
+    for (int d = 0; d < 3; ++d) {
+      dir[static_cast<std::size_t>(d)] = fr.normal[static_cast<std::size_t>(d)] +
+                                         a * fr.du[static_cast<std::size_t>(d)] +
+                                         b * fr.dv[static_cast<std::size_t>(d)];
+    }
+    const double len = std::sqrt(dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]);
+    const double rad = inner_radius + (outer_radius - inner_radius) * ref[2];
+    return std::array<double, 3>{rad * dir[0] / len, rad * dir[1] / len, rad * dir[2] / len};
+  };
+}
+
+GeomFn<2> annulus_map(int ntrees, double inner_radius, double outer_radius) {
+  return [ntrees, inner_radius, outer_radius](int tree, std::array<double, 2> ref) {
+    // Clockwise to match Connectivity<2>::ring (right-handed frame).
+    const double theta = -2.0 * M_PI * (tree + ref[0]) / ntrees;
+    const double rad = inner_radius + (outer_radius - inner_radius) * ref[1];
+    return std::array<double, 3>{rad * std::cos(theta), rad * std::sin(theta), 0.0};
+  };
+}
+
+template GeomFn<2> vertex_map<2>(const forest::Connectivity<2>&);
+template GeomFn<3> vertex_map<3>(const forest::Connectivity<3>&);
+
+}  // namespace esamr::sfem

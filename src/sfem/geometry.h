@@ -1,0 +1,30 @@
+// Geometric maps from tree reference coordinates to physical space. The
+// forest itself is purely topological; these diffeomorphisms are used only
+// by the discretization layer and for visualization (paper §II-D).
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "forest/connectivity.h"
+
+namespace esamr::sfem {
+
+template <int Dim>
+using GeomFn = std::function<std::array<double, 3>(int tree, std::array<double, Dim> ref)>;
+
+/// Tri/bi-linear interpolation of the macro-mesh vertex coordinates (exact
+/// for brick-type meshes; the fallback for anything else).
+template <int Dim>
+GeomFn<Dim> vertex_map(const forest::Connectivity<Dim>& conn);
+
+/// Smooth equiangular cubed-sphere map for the 24-tree spherical shell of
+/// Connectivity<3>::shell() (paper §III-B): six caps of four patches each,
+/// local axes (u, v, radial). Radii match the shell() macro vertices.
+GeomFn<3> shell_map(double inner_radius = 0.55, double outer_radius = 1.0);
+
+/// Smooth annulus map for Connectivity<2>::ring(ntrees): x = angular,
+/// y = radial.
+GeomFn<2> annulus_map(int ntrees, double inner_radius = 0.55, double outer_radius = 1.0);
+
+}  // namespace esamr::sfem

@@ -1,0 +1,141 @@
+#include "sfem/transfer.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "sfem/tensor.h"
+
+namespace esamr::sfem {
+
+namespace {
+
+/// Tensor interpolation of one element block (ncomp * np^Dim) to child
+/// `cid`, or tensor L2 projection of a child block onto its parent
+/// (accumulated: caller zeroes the target first).
+template <int Dim>
+void child_interp(const Basis1d& b, int ncomp, int cid, const double* parent, double* child) {
+  const int np = b.np, nv = ipow(np, Dim);
+  std::vector<double> t0(static_cast<std::size_t>(nv)), t1(static_cast<std::size_t>(nv));
+  for (int c = 0; c < ncomp; ++c) {
+    std::memcpy(t0.data(), parent + static_cast<std::size_t>(c) * nv,
+                sizeof(double) * static_cast<std::size_t>(nv));
+    for (int a = 0; a < Dim; ++a) {
+      apply_axis(Dim, np, a, b.interp_half[(cid >> a) & 1].data(), t0.data(), t1.data());
+      std::swap(t0, t1);
+    }
+    std::memcpy(child + static_cast<std::size_t>(c) * nv, t0.data(),
+                sizeof(double) * static_cast<std::size_t>(nv));
+  }
+}
+
+template <int Dim>
+void child_project_accumulate(const Basis1d& b, int ncomp, int cid, const double* child,
+                              double* parent) {
+  const int np = b.np, nv = ipow(np, Dim);
+  std::vector<double> t0(static_cast<std::size_t>(nv)), t1(static_cast<std::size_t>(nv));
+  for (int c = 0; c < ncomp; ++c) {
+    std::memcpy(t0.data(), child + static_cast<std::size_t>(c) * nv,
+                sizeof(double) * static_cast<std::size_t>(nv));
+    for (int a = 0; a < Dim; ++a) {
+      apply_axis(Dim, np, a, b.project_half[(cid >> a) & 1].data(), t0.data(), t1.data());
+      std::swap(t0, t1);
+    }
+    for (int node = 0; node < nv; ++node) {
+      parent[static_cast<std::size_t>(c) * nv + static_cast<std::size_t>(node)] +=
+          t0[static_cast<std::size_t>(node)];
+    }
+  }
+}
+
+}  // namespace
+
+template <int Dim>
+std::vector<double> transfer_fields(const std::vector<std::vector<forest::Octant<Dim>>>& old_trees,
+                                    const forest::Forest<Dim>& new_forest,
+                                    std::span<const double> old_data, int ncomp,
+                                    const Basis1d& basis) {
+  using Oct = forest::Octant<Dim>;
+  constexpr int nchild = forest::Topo<Dim>::num_children;
+  const int nv = ipow(basis.np, Dim);
+  const auto per_elem = static_cast<std::size_t>(ncomp) * static_cast<std::size_t>(nv);
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(new_forest.num_local()) * per_elem);
+
+  std::size_t old_idx = 0;  // global old-element counter (matches old_data blocks)
+  for (int t = 0; t < new_forest.num_trees(); ++t) {
+    const auto& old_leaves = old_trees[static_cast<std::size_t>(t)];
+    const auto& new_leaves = new_forest.tree(t);
+    std::size_t i = 0, j = 0;
+
+    // Emit data for every new leaf under `cur`, given `cur`'s data.
+    const std::function<void(const Oct&, const double*)> emit_refined =
+        [&](const Oct& cur, const double* data) {
+          if (j < new_leaves.size() && new_leaves[j] == cur) {
+            out.insert(out.end(), data, data + per_elem);
+            ++j;
+            return;
+          }
+          std::vector<double> child(per_elem);
+          for (int c = 0; c < nchild; ++c) {
+            child_interp<Dim>(basis, ncomp, c, data, child.data());
+            emit_refined(cur.child(c), child.data());
+          }
+        };
+    // Produce data for `cur` by projecting the old leaves below it.
+    const std::function<void(const Oct&, double*)> gather_coarsened = [&](const Oct& cur,
+                                                                          double* data) {
+      if (i < old_leaves.size() && old_leaves[i] == cur) {
+        const double* src = old_data.data() + old_idx * per_elem;
+        std::memcpy(data, src, sizeof(double) * per_elem);
+        ++i;
+        ++old_idx;
+        return;
+      }
+      std::fill(data, data + per_elem, 0.0);
+      std::vector<double> child(per_elem);
+      for (int c = 0; c < nchild; ++c) {
+        gather_coarsened(cur.child(c), child.data());
+        child_project_accumulate<Dim>(basis, ncomp, c, child.data(), data);
+      }
+    };
+
+    while (i < old_leaves.size() || j < new_leaves.size()) {
+      if (i < old_leaves.size() && j < new_leaves.size() && old_leaves[i] == new_leaves[j]) {
+        const double* src = old_data.data() + old_idx * per_elem;
+        out.insert(out.end(), src, src + per_elem);
+        ++i;
+        ++j;
+        ++old_idx;
+      } else if (j < new_leaves.size() && i < old_leaves.size() &&
+                 old_leaves[i].contains(new_leaves[j])) {
+        // Refinement below the old leaf.
+        const double* src = old_data.data() + old_idx * per_elem;
+        std::vector<double> tmp(src, src + per_elem);
+        ++old_idx;
+        const Oct parent = old_leaves[i];
+        ++i;
+        emit_refined(parent, tmp.data());
+      } else if (j < new_leaves.size() && i < old_leaves.size() &&
+                 new_leaves[j].contains(old_leaves[i])) {
+        // Coarsening onto the new leaf.
+        std::vector<double> tmp(per_elem);
+        gather_coarsened(new_leaves[j], tmp.data());
+        ++j;
+        out.insert(out.end(), tmp.begin(), tmp.end());
+      } else {
+        throw std::runtime_error("transfer_fields: old and new forests do not cover each other");
+      }
+    }
+  }
+  return out;
+}
+
+template std::vector<double> transfer_fields<2>(const std::vector<std::vector<forest::Octant<2>>>&,
+                                                const forest::Forest<2>&, std::span<const double>,
+                                                int, const Basis1d&);
+template std::vector<double> transfer_fields<3>(const std::vector<std::vector<forest::Octant<3>>>&,
+                                                const forest::Forest<3>&, std::span<const double>,
+                                                int, const Basis1d&);
+
+}  // namespace esamr::sfem

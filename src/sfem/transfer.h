@@ -1,0 +1,40 @@
+// Solution transfer between meshes (paper §III-B / §IV-A: "all solution
+// fields are interpolated between meshes and redistributed according to the
+// mesh partition").
+//
+//  * Under refinement, parent nodal values are interpolated to the children
+//    (exact for the polynomial space).
+//  * Under coarsening, children are combined by elementwise L2 projection.
+//  * Both directions recurse, so a single transfer handles the combined
+//    effect of Refine + Coarsen + Balance in one adaptation step.
+//  * Repartitioning moves per-element payloads with Forest::partition_payload.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "forest/forest.h"
+#include "sfem/lgl.h"
+
+namespace esamr::sfem {
+
+/// Transfer per-element fields after local adaptation. `old_trees` is a copy
+/// of the forest's per-tree leaf arrays taken before Refine/Coarsen/Balance;
+/// `new_forest` is the adapted forest (same rank ownership — all three
+/// operations are communication-free). `old_data` holds `ncomp` components
+/// of np^Dim nodal values per old element ([elem][comp][node]); the result
+/// is laid out the same way for the new elements.
+template <int Dim>
+std::vector<double> transfer_fields(const std::vector<std::vector<forest::Octant<Dim>>>& old_trees,
+                                    const forest::Forest<Dim>& new_forest,
+                                    std::span<const double> old_data, int ncomp,
+                                    const Basis1d& basis);
+
+extern template std::vector<double> transfer_fields<2>(
+    const std::vector<std::vector<forest::Octant<2>>>&, const forest::Forest<2>&,
+    std::span<const double>, int, const Basis1d&);
+extern template std::vector<double> transfer_fields<3>(
+    const std::vector<std::vector<forest::Octant<3>>>&, const forest::Forest<3>&,
+    std::span<const double>, int, const Basis1d&);
+
+}  // namespace esamr::sfem

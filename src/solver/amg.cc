@@ -1,0 +1,243 @@
+#include "solver/amg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace esamr::solver {
+
+namespace {
+
+/// In-place LU with partial pivoting for the dense coarsest level.
+void lu_factor(std::vector<double>& a, std::vector<int>& piv, int n) {
+  piv.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    int pv = k;
+    for (int i = k + 1; i < n; ++i) {
+      if (std::abs(a[static_cast<std::size_t>(i * n + k)]) >
+          std::abs(a[static_cast<std::size_t>(pv * n + k)])) {
+        pv = i;
+      }
+    }
+    piv[static_cast<std::size_t>(k)] = pv;
+    if (pv != k) {
+      for (int j = 0; j < n; ++j) {
+        std::swap(a[static_cast<std::size_t>(k * n + j)], a[static_cast<std::size_t>(pv * n + j)]);
+      }
+    }
+    const double d = a[static_cast<std::size_t>(k * n + k)];
+    if (d == 0.0) continue;  // singular block: leave zero pivot, solve treats as identity row
+    for (int i = k + 1; i < n; ++i) {
+      const double f = a[static_cast<std::size_t>(i * n + k)] / d;
+      a[static_cast<std::size_t>(i * n + k)] = f;
+      for (int j = k + 1; j < n; ++j) {
+        a[static_cast<std::size_t>(i * n + j)] -= f * a[static_cast<std::size_t>(k * n + j)];
+      }
+    }
+  }
+}
+
+void lu_solve(const std::vector<double>& a, const std::vector<int>& piv, int n,
+              std::span<double> x) {
+  for (int k = 0; k < n; ++k) {
+    if (piv[static_cast<std::size_t>(k)] != k) {
+      std::swap(x[static_cast<std::size_t>(k)], x[static_cast<std::size_t>(piv[static_cast<std::size_t>(k)])]);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] -= a[static_cast<std::size_t>(i * n + k)] * x[static_cast<std::size_t>(k)];
+    }
+  }
+  for (int k = n - 1; k >= 0; --k) {
+    const double d = a[static_cast<std::size_t>(k * n + k)];
+    if (d == 0.0) {
+      x[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    for (int i = k + 1; i < n; ++i) {
+      x[static_cast<std::size_t>(k)] -= a[static_cast<std::size_t>(k * n + i)] * x[static_cast<std::size_t>(i)];
+    }
+    x[static_cast<std::size_t>(k)] /= d;
+  }
+}
+
+}  // namespace
+
+AmgPreconditioner::AmgPreconditioner(const DistCsr& a, Options opt) : opt_(opt) {
+  Level l0;
+  a.local_block(l0.rowptr, l0.col, l0.val);
+  l0.diag.assign(static_cast<std::size_t>(a.rows_owned()), 1.0);
+  for (std::size_t i = 0; i < l0.diag.size(); ++i) {
+    for (std::int64_t k = l0.rowptr[i]; k < l0.rowptr[i + 1]; ++k) {
+      if (static_cast<std::size_t>(l0.col[static_cast<std::size_t>(k)]) == i) {
+        l0.diag[i] = l0.val[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  levels_.push_back(std::move(l0));
+
+  const int b = std::max(1, opt_.dofs_per_node);
+  while (static_cast<int>(levels_.size()) < opt_.max_levels &&
+         static_cast<std::int64_t>(levels_.back().diag.size()) > opt_.coarse_size * b) {
+    Level& fine = levels_.back();
+    const auto ndof = static_cast<std::int64_t>(fine.diag.size());
+    const std::int64_t nnode = ndof / b;
+    if (nnode * b != ndof) throw std::runtime_error("amg: dof count not divisible by block size");
+
+    // Node-level strength graph: w(I,J) = max |a_ij| over the dof block.
+    std::vector<std::map<std::int32_t, double>> graph(static_cast<std::size_t>(nnode));
+    for (std::int64_t i = 0; i < ndof; ++i) {
+      const auto ni = static_cast<std::int32_t>(i / b);
+      for (std::int64_t k = fine.rowptr[static_cast<std::size_t>(i)];
+           k < fine.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const auto nj = static_cast<std::int32_t>(fine.col[static_cast<std::size_t>(k)] / b);
+        if (nj == ni) continue;
+        auto& w = graph[static_cast<std::size_t>(ni)][nj];
+        w = std::max(w, std::abs(fine.val[static_cast<std::size_t>(k)]));
+      }
+    }
+    // Node diagonal scale for the strength test.
+    std::vector<double> nd(static_cast<std::size_t>(nnode), 0.0);
+    for (std::int64_t i = 0; i < ndof; ++i) {
+      nd[static_cast<std::size_t>(i / b)] =
+          std::max(nd[static_cast<std::size_t>(i / b)], std::abs(fine.diag[static_cast<std::size_t>(i)]));
+    }
+    const auto strong = [&](std::int32_t i, std::int32_t j, double w) {
+      return w > opt_.strength * std::sqrt(std::max(nd[static_cast<std::size_t>(i)], 1e-300) *
+                                           std::max(nd[static_cast<std::size_t>(j)], 1e-300));
+    };
+
+    // Greedy aggregation.
+    std::vector<std::int32_t> agg(static_cast<std::size_t>(nnode), -1);
+    std::int32_t nagg = 0;
+    for (std::int32_t i = 0; i < nnode; ++i) {
+      if (agg[static_cast<std::size_t>(i)] >= 0) continue;
+      bool has_aggregated_strong = false;
+      for (const auto& [j, w] : graph[static_cast<std::size_t>(i)]) {
+        if (strong(i, j, w) && agg[static_cast<std::size_t>(j)] >= 0) has_aggregated_strong = true;
+      }
+      if (has_aggregated_strong) continue;
+      const std::int32_t id = nagg++;
+      agg[static_cast<std::size_t>(i)] = id;
+      for (const auto& [j, w] : graph[static_cast<std::size_t>(i)]) {
+        if (strong(i, j, w) && agg[static_cast<std::size_t>(j)] < 0) {
+          agg[static_cast<std::size_t>(j)] = id;
+        }
+      }
+    }
+    for (std::int32_t i = 0; i < nnode; ++i) {  // attach leftovers
+      if (agg[static_cast<std::size_t>(i)] >= 0) continue;
+      for (const auto& [j, w] : graph[static_cast<std::size_t>(i)]) {
+        if (strong(i, j, w) && agg[static_cast<std::size_t>(j)] >= 0) {
+          agg[static_cast<std::size_t>(i)] = agg[static_cast<std::size_t>(j)];
+          break;
+        }
+      }
+      if (agg[static_cast<std::size_t>(i)] < 0) agg[static_cast<std::size_t>(i)] = nagg++;
+    }
+    if (nagg >= nnode) break;  // no coarsening progress
+
+    // Store the dof-level aggregate map on the fine level.
+    fine.agg.resize(static_cast<std::size_t>(ndof));
+    for (std::int64_t i = 0; i < ndof; ++i) {
+      fine.agg[static_cast<std::size_t>(i)] =
+          agg[static_cast<std::size_t>(i / b)] * b + static_cast<std::int32_t>(i % b);
+    }
+
+    // Galerkin coarse operator (piecewise-constant P): sum over fine entries.
+    std::map<std::pair<std::int32_t, std::int32_t>, double> coarse;
+    for (std::int64_t i = 0; i < ndof; ++i) {
+      const std::int32_t ci = fine.agg[static_cast<std::size_t>(i)];
+      for (std::int64_t k = fine.rowptr[static_cast<std::size_t>(i)];
+           k < fine.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const std::int32_t cj = fine.agg[static_cast<std::size_t>(fine.col[static_cast<std::size_t>(k)])];
+        coarse[{ci, cj}] += fine.val[static_cast<std::size_t>(k)];
+      }
+    }
+    Level next;
+    const std::int64_t ncoarse = static_cast<std::int64_t>(nagg) * b;
+    next.rowptr.assign(static_cast<std::size_t>(ncoarse) + 1, 0);
+    next.diag.assign(static_cast<std::size_t>(ncoarse), 1.0);
+    for (const auto& [ij, v] : coarse) next.rowptr[static_cast<std::size_t>(ij.first) + 1]++;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(ncoarse); ++r) {
+      next.rowptr[r + 1] += next.rowptr[r];
+    }
+    next.col.resize(coarse.size());
+    next.val.resize(coarse.size());
+    std::vector<std::int64_t> cursor(next.rowptr.begin(), next.rowptr.end() - 1);
+    for (const auto& [ij, v] : coarse) {
+      const auto at = static_cast<std::size_t>(cursor[static_cast<std::size_t>(ij.first)]++);
+      next.col[at] = ij.second;
+      next.val[at] = v;
+      if (ij.first == ij.second) next.diag[static_cast<std::size_t>(ij.first)] = v;
+    }
+    levels_.push_back(std::move(next));
+  }
+
+  // Dense-factor the coarsest level.
+  const Level& last = levels_.back();
+  const auto n = static_cast<int>(last.diag.size());
+  coarse_dense_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (std::int64_t k = last.rowptr[static_cast<std::size_t>(i)];
+         k < last.rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      coarse_dense_[static_cast<std::size_t>(i) * n +
+                    static_cast<std::size_t>(last.col[static_cast<std::size_t>(k)])] =
+          last.val[static_cast<std::size_t>(k)];
+    }
+  }
+  lu_factor(coarse_dense_, coarse_piv_, n);
+}
+
+void AmgPreconditioner::smooth(const Level& lv, std::span<const double> r, std::span<double> z,
+                               int sweeps) const {
+  const std::size_t n = lv.diag.size();
+  std::vector<double> az(n);
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::int64_t k = lv.rowptr[i]; k < lv.rowptr[i + 1]; ++k) {
+        acc += lv.val[static_cast<std::size_t>(k)] *
+               z[static_cast<std::size_t>(lv.col[static_cast<std::size_t>(k)])];
+      }
+      az[i] = acc;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = lv.diag[i] != 0.0 ? lv.diag[i] : 1.0;
+      z[i] += opt_.jacobi_omega * (r[i] - az[i]) / d;
+    }
+  }
+}
+
+void AmgPreconditioner::vcycle(int level, std::span<const double> r, std::span<double> z) const {
+  const Level& lv = levels_[static_cast<std::size_t>(level)];
+  const std::size_t n = lv.diag.size();
+  std::fill(z.begin(), z.end(), 0.0);
+  if (level == static_cast<int>(levels_.size()) - 1) {
+    std::copy(r.begin(), r.end(), z.begin());
+    lu_solve(coarse_dense_, coarse_piv_, static_cast<int>(n), z);
+    return;
+  }
+  smooth(lv, r, z, opt_.presmooth);
+  // Residual and restriction.
+  const Level& cv = levels_[static_cast<std::size_t>(level) + 1];
+  std::vector<double> res(n), rc(cv.diag.size(), 0.0), zc(cv.diag.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::int64_t k = lv.rowptr[i]; k < lv.rowptr[i + 1]; ++k) {
+      acc += lv.val[static_cast<std::size_t>(k)] *
+             z[static_cast<std::size_t>(lv.col[static_cast<std::size_t>(k)])];
+    }
+    res[i] = r[i] - acc;
+    rc[static_cast<std::size_t>(lv.agg[i])] += res[i];
+  }
+  vcycle(level + 1, rc, zc);
+  for (std::size_t i = 0; i < n; ++i) z[i] += zc[static_cast<std::size_t>(lv.agg[i])];
+  smooth(lv, r, z, opt_.postsmooth);
+}
+
+void AmgPreconditioner::apply(std::span<const double> r, std::span<double> z) const {
+  vcycle(0, r, z);
+}
+
+}  // namespace esamr::solver

@@ -1,0 +1,131 @@
+#include "solver/krylov.h"
+
+#include <cmath>
+
+namespace esamr::solver {
+
+namespace {
+
+double dot(par::Comm& comm, std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return comm.allreduce(acc, par::ReduceOp::sum);
+}
+
+void apply_precond(const LinearOp* m, std::span<const double> r, std::span<double> z,
+                   SolveStats& stats) {
+  if (m == nullptr) {
+    std::copy(r.begin(), r.end(), z.begin());
+    return;
+  }
+  const double t0 = par::thread_cpu_seconds();
+  (*m)(r, z);
+  stats.seconds_in_precond += par::thread_cpu_seconds() - t0;
+}
+
+}  // namespace
+
+SolveStats pcg(par::Comm& comm, const LinearOp& a, const LinearOp* m, std::span<const double> b,
+               std::span<double> x, int max_iter, double rtol) {
+  SolveStats stats;
+  const std::size_t n = b.size();
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  apply_precond(m, r, z, stats);
+  p.assign(z.begin(), z.end());
+  double rz = dot(comm, r, z);
+  const double bnorm = std::sqrt(std::max(dot(comm, b, b), 1e-300));
+  for (int it = 0; it < max_iter; ++it) {
+    const double rnorm = std::sqrt(dot(comm, r, r));
+    stats.residual = rnorm;
+    stats.iterations = it;
+    if (rnorm <= rtol * bnorm) {
+      stats.converged = true;
+      return stats;
+    }
+    a(p, ap);
+    const double alpha = rz / dot(comm, p, ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    apply_precond(m, r, z, stats);
+    const double rz_new = dot(comm, r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  stats.iterations = max_iter;
+  return stats;
+}
+
+SolveStats minres(par::Comm& comm, const LinearOp& a, const LinearOp* m, std::span<const double> b,
+                  std::span<double> x, int max_iter, double rtol) {
+  // Standard preconditioned MINRES (Paige & Saunders) with a Lanczos
+  // three-term recurrence in the M^{-1}-inner product.
+  SolveStats stats;
+  const std::size_t n = b.size();
+  std::vector<double> r1(n), y(n), w(n, 0.0), w1(n, 0.0), w2(n, 0.0), v(n), tmp(n);
+
+  a(x, tmp);
+  for (std::size_t i = 0; i < n; ++i) r1[i] = b[i] - tmp[i];
+  apply_precond(m, r1, y, stats);
+  double beta1 = dot(comm, r1, y);
+  if (beta1 < 0.0) beta1 = 0.0;  // indefinite preconditioner guard
+  beta1 = std::sqrt(beta1);
+  if (beta1 == 0.0) {
+    stats.converged = true;
+    return stats;
+  }
+
+  std::vector<double> r2 = r1;
+  double oldb = 0.0, beta = beta1, dbar = 0.0, epsln = 0.0, phibar = beta1;
+  double cs = -1.0, sn = 0.0;
+
+  for (int it = 1; it <= max_iter; ++it) {
+    const double s = 1.0 / beta;
+    for (std::size_t i = 0; i < n; ++i) v[i] = s * y[i];
+    a(v, tmp);
+    if (it >= 2) {
+      for (std::size_t i = 0; i < n; ++i) tmp[i] -= (beta / oldb) * r1[i];
+    }
+    const double alfa = dot(comm, v, tmp);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] -= (alfa / beta) * r2[i];
+    r1 = r2;
+    r2 = tmp;
+    apply_precond(m, r2, y, stats);
+    oldb = beta;
+    double beta2 = dot(comm, r2, y);
+    if (beta2 < 0.0) beta2 = 0.0;
+    beta = std::sqrt(beta2);
+
+    // Apply previous rotation.
+    const double oldeps = epsln;
+    const double delta = cs * dbar + sn * alfa;
+    const double gbar = sn * dbar - cs * alfa;
+    epsln = sn * beta;
+    dbar = -cs * beta;
+    const double gamma = std::max(std::sqrt(gbar * gbar + beta * beta), 1e-300);
+    cs = gbar / gamma;
+    sn = beta / gamma;
+    const double phi = cs * phibar;
+    phibar = sn * phibar;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w_next = (v[i] - oldeps * w1[i] - delta * w2[i]) / gamma;
+      w1[i] = w2[i];
+      w2[i] = w_next;
+      x[i] += phi * w_next;
+    }
+    stats.iterations = it;
+    stats.residual = phibar;
+    if (phibar <= rtol * beta1) {
+      stats.converged = true;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace esamr::solver

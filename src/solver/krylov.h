@@ -1,0 +1,35 @@
+// Krylov solvers for the distributed systems of the Rhea substitute
+// (paper §IV-A): preconditioned conjugate gradients for SPD systems and
+// preconditioned MINRES for the symmetric indefinite Stokes saddle point
+// (the paper's solver choice; the preconditioner must be SPD).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "par/comm.h"
+
+namespace esamr::solver {
+
+/// y = Op(x); x, y are owned-row vectors of equal length.
+using LinearOp = std::function<void(std::span<const double>, std::span<double>)>;
+
+struct SolveStats {
+  int iterations = 0;
+  double residual = 0.0;   ///< final (preconditioned for MINRES) residual norm
+  bool converged = false;
+  double seconds_in_precond = 0.0;  ///< busy time inside the preconditioner
+};
+
+/// Preconditioned conjugate gradients: solves A x = b with SPD A and SPD
+/// preconditioner M (apply of M^{-1}); pass nullptr for unpreconditioned.
+SolveStats pcg(par::Comm& comm, const LinearOp& a, const LinearOp* m, std::span<const double> b,
+               std::span<double> x, int max_iter, double rtol);
+
+/// Preconditioned MINRES for symmetric (possibly indefinite) A with SPD
+/// preconditioner M.
+SolveStats minres(par::Comm& comm, const LinearOp& a, const LinearOp* m, std::span<const double> b,
+                  std::span<double> x, int max_iter, double rtol);
+
+}  // namespace esamr::solver

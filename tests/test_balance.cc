@@ -1,0 +1,205 @@
+// Property tests for Balance: after balance(), every pair of neighboring
+// leaves (faces, edges, corners, across trees) differs by at most one level.
+// The check is a brute-force global verification independent of the ripple
+// algorithm under test.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "forest/forest.h"
+
+using namespace esamr::forest;
+namespace par = esamr::par;
+
+namespace {
+
+template <int Dim>
+std::vector<std::pair<int, Octant<Dim>>> gather_all(const Forest<Dim>& f) {
+  std::vector<OctMsg> local;
+  f.for_each_local([&](int t, const Octant<Dim>& o) {
+    local.push_back(OctMsg{t, o.x, o.y, Dim == 3 ? o.z : 0, o.level});
+  });
+  std::vector<std::pair<int, Octant<Dim>>> all;
+  for (const auto& from : f.comm().allgatherv(local)) {
+    for (const OctMsg& m : from) {
+      Octant<Dim> o;
+      o.x = m.x;
+      o.y = m.y;
+      if constexpr (Dim == 3) o.z = m.z;
+      o.level = static_cast<std::int8_t>(m.level);
+      all.emplace_back(m.tree, o);
+    }
+  }
+  return all;
+}
+
+/// Brute-force 2:1 check on the gathered forest.
+template <int Dim>
+void expect_two_to_one(const Forest<Dim>& f) {
+  const auto all = gather_all(f);
+  const Connectivity<Dim>& conn = f.conn();
+  // Per-tree sorted arrays for overlap queries.
+  std::vector<std::vector<Octant<Dim>>> trees(static_cast<std::size_t>(f.num_trees()));
+  for (const auto& [t, o] : all) trees[static_cast<std::size_t>(t)].push_back(o);
+  for (auto& v : trees) std::sort(v.begin(), v.end());
+
+  int violations = 0;
+  for (const auto& [t, o] : all) {
+    const auto check = [&](int t2, const Octant<Dim>& n) {
+      if (n.level <= 1) return;
+      const auto& leaves = trees[static_cast<std::size_t>(t2)];
+      const auto [lo, hi] = overlapping_range<Dim>(leaves, n);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (leaves[i].level < n.level - 1) ++violations;
+      }
+    };
+    const auto place = [&](const Octant<Dim>& n) {
+      if (n.inside_root()) {
+        check(t, n);
+      } else {
+        for (const auto& [t2, img] : conn.exterior_images(t, n)) check(t2, img);
+      }
+    };
+    for (int fc = 0; fc < Topo<Dim>::num_faces; ++fc) place(o.face_neighbor(fc));
+    if constexpr (Dim == 3) {
+      for (int e = 0; e < 12; ++e) place(o.edge_neighbor(e));
+    }
+    for (int c = 0; c < Topo<Dim>::num_corners; ++c) place(o.corner_neighbor(c));
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+/// Deterministic pseudo-random refinement marker, identical on all ranks.
+template <int Dim>
+bool random_mark(int t, const Octant<Dim>& o, unsigned salt, int mod) {
+  const std::uint64_t h =
+      (o.key() * 0x9e3779b97f4a7c15ull + static_cast<unsigned>(t) * 77ull + salt) >> 17;
+  return h % static_cast<unsigned>(mod) == 0;
+}
+
+}  // namespace
+
+class BalanceRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalanceRanks, UnitSquareRandomRefinement) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::unit();
+    auto f = Forest<2>::new_uniform(c, &conn, 2);
+    for (int round = 0; round < 3; ++round) {
+      f.refine(7, false, [&](int t, const Octant<2>& o) { return random_mark(t, o, round, 3); });
+    }
+    f.balance();
+    EXPECT_TRUE(f.is_valid_local());
+    expect_two_to_one(f);
+  });
+}
+
+TEST_P(BalanceRanks, BalanceIsIdempotent) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 2}, {true, true});
+    auto f = Forest<2>::new_uniform(c, &conn, 1);
+    f.refine(6, true, [&](int t, const Octant<2>& o) {
+      return o.level < 5 && random_mark(t, o, 11, 4);
+    });
+    f.balance();
+    const auto sum = f.checksum();
+    const auto n = f.num_global();
+    f.balance();
+    EXPECT_EQ(f.checksum(), sum);
+    EXPECT_EQ(f.num_global(), n);
+  });
+}
+
+TEST_P(BalanceRanks, BalanceOnlyRefines) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::unit();
+    auto f = Forest<2>::new_uniform(c, &conn, 1);
+    f.refine(6, true, [&](int t, const Octant<2>& o) {
+      return o.level < 6 && random_mark(t, o, 3, 5);
+    });
+    const auto before = gather_all(f);
+    f.balance();
+    // Every original leaf is still covered by leaves at >= its level.
+    std::vector<std::vector<Octant<2>>> trees(1);
+    const auto after = gather_all(f);
+    for (const auto& [t, o] : after) trees[static_cast<std::size_t>(t)].push_back(o);
+    std::sort(trees[0].begin(), trees[0].end());
+    for (const auto& [t, o] : before) {
+      const auto [lo, hi] = overlapping_range<2>(trees[0], o);
+      ASSERT_LT(lo, hi);
+      for (std::size_t i = lo; i < hi; ++i) {
+        EXPECT_GE(trees[0][i].level, o.level);
+        EXPECT_TRUE(o.contains(trees[0][i]));
+      }
+    }
+  });
+}
+
+TEST_P(BalanceRanks, MoebiusInterTreeBalance) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::moebius(5);
+    auto f = Forest<2>::new_uniform(c, &conn, 1);
+    // Deep refinement concentrated near the twisted closure.
+    f.refine(6, true, [&](int t, const Octant<2>& o) {
+      return t == 0 && o.x == 0 && o.level < 6;
+    });
+    f.balance();
+    expect_two_to_one(f);
+  });
+}
+
+TEST_P(BalanceRanks, Cube3DCornerRefinement) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<3>::unit();
+    auto f = Forest<3>::new_uniform(c, &conn, 1);
+    // A single deep corner cell forces a classic 2:1 cascade.
+    f.refine(5, true, [&](int, const Octant<3>& o) {
+      return o.x == 0 && o.y == 0 && o.z == 0 && o.level < 5;
+    });
+    f.balance();
+    expect_two_to_one(f);
+    EXPECT_TRUE(f.is_valid_local());
+  });
+}
+
+TEST_P(BalanceRanks, RotcubesInterTree3D) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<3>::rotcubes();
+    auto f = Forest<3>::new_uniform(c, &conn, 1);
+    f.refine(4, true, [&](int t, const Octant<3>& o) {
+      return o.level < 4 && random_mark(t, o, 7, 6);
+    });
+    f.balance();
+    expect_two_to_one(f);
+  });
+}
+
+TEST_P(BalanceRanks, ShellInterTree3D) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<3>::shell();
+    auto f = Forest<3>::new_uniform(c, &conn, 1);
+    f.refine(3, true, [&](int t, const Octant<3>& o) {
+      return o.level < 3 && random_mark(t, o, 5, 7);
+    });
+    f.balance();
+    expect_two_to_one(f);
+  });
+}
+
+TEST_P(BalanceRanks, FractalRefinementMatchesPaperSetup) {
+  // The paper's Fig. 4 workload: recursively subdivide children 0, 3, 5, 6.
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<3>::rotcubes();
+    auto f = Forest<3>::new_uniform(c, &conn, 1);
+    for (int l = 1; l < 3; ++l) {
+      f.refine(l + 1, false, [&](int, const Octant<3>& o) {
+        const int id = o.child_id();
+        return o.level == l && (id == 0 || id == 3 || id == 5 || id == 6);
+      });
+    }
+    f.balance();
+    expect_two_to_one(f);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BalanceRanks, ::testing::Values(1, 2, 4, 7));

@@ -1,0 +1,188 @@
+// Tests for the dG advection solver: spectral convergence on periodic
+// meshes, exactness of the RHS for constants, conservation across hanging
+// faces, and the dynamically adaptive driver (transfer + repartition).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sfem/dg_advection.h"
+
+using namespace esamr::sfem;
+using namespace esamr::forest;
+namespace par = esamr::par;
+
+namespace {
+
+template <int Dim>
+bool random_mark(int t, const Octant<Dim>& o, unsigned salt, int mod) {
+  const std::uint64_t h =
+      (o.key() * 0x9e3779b97f4a7c15ull + static_cast<unsigned>(t) * 77ull + salt) >> 17;
+  return h % static_cast<unsigned>(mod) == 0;
+}
+
+/// L2 error after advecting a smooth periodic profile for a fixed time on a
+/// uniform periodic 2x2-brick mesh at the given refinement level.
+double advect_error_2d(par::Comm& c, int degree, int level, double tfinal) {
+  const auto conn = Connectivity<2>::brick({2, 2}, {true, true});
+  auto f = Forest<2>::new_uniform(c, &conn, level);
+  const auto g = GhostLayer<2>::build(f);
+  const auto mesh = DgMesh<2>::build(f, g, degree, vertex_map<2>(conn));
+  const std::array<double, 3> vel{0.7, 0.31, 0.0};
+  Advection<2> adv(&mesh, [&](const std::array<double, 3>&) { return vel; });
+  // Domain is [0,2]^2 periodic; profile period 2.
+  const auto profile = [](double x, double y) {
+    return std::sin(M_PI * x) * std::cos(M_PI * y);
+  };
+  std::vector<double> cfield(static_cast<std::size_t>(mesh.n_local) * mesh.nv);
+  for (std::size_t i = 0; i < cfield.size(); ++i) {
+    cfield[i] = profile(mesh.coords[i * 3], mesh.coords[i * 3 + 1]);
+  }
+  const double dt0 = adv.stable_dt(0.4);
+  const int nsteps = std::max(1, static_cast<int>(std::ceil(tfinal / dt0)));
+  const double dt = tfinal / nsteps;
+  for (int s = 0; s < nsteps; ++s) adv.step(cfield, dt);
+  return adv.l2_error(cfield, [&](const std::array<double, 3>& x) {
+    return profile(x[0] - vel[0] * tfinal, x[1] - vel[1] * tfinal);
+  });
+}
+
+}  // namespace
+
+class AdvectionRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdvectionRanks, RhsVanishesForConstants) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 2}, {true, true});
+    auto f = Forest<2>::new_uniform(c, &conn, 1);
+    f.refine(3, true, [&](int t, const Octant<2>& o) {
+      return o.level < 3 && random_mark(t, o, 1, 3);
+    });
+    f.balance();
+    const auto g = GhostLayer<2>::build(f);
+    const auto mesh = DgMesh<2>::build(f, g, 3, vertex_map<2>(conn));
+    Advection<2> adv(&mesh, [](const std::array<double, 3>&) {
+      return std::array<double, 3>{0.4, -0.9, 0.0};
+    });
+    // A constant field is an exact steady solution: free-stream preservation
+    // including 2:1 hanging faces.
+    std::vector<double> cf(static_cast<std::size_t>(mesh.n_local) * mesh.nv, 3.25);
+    std::vector<double> out(cf.size(), 1.0);
+    adv.rhs(cf, out);
+    for (const double v : out) EXPECT_NEAR(v, 0.0, 1e-11);
+  });
+}
+
+TEST_P(AdvectionRanks, SpectralAccuracyWithDegree) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    // Fixed mesh, increasing order: error should drop fast (>= factor 5 per
+    // degree for this smooth profile).
+    double prev = 1e300;
+    for (int degree : {1, 2, 3, 4}) {
+      const double err = advect_error_2d(c, degree, 2, 0.1);
+      if (degree > 1) EXPECT_LT(err, prev / 4.0) << "degree " << degree;
+      prev = err;
+    }
+    EXPECT_LT(prev, 2e-5);
+  });
+}
+
+TEST_P(AdvectionRanks, MeshConvergenceOrder) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    // Degree 2: upwind dG converges between order N+1/2 and N+1.
+    const double e1 = advect_error_2d(c, 2, 2, 0.1);
+    const double e2 = advect_error_2d(c, 2, 3, 0.1);
+    const double rate = std::log2(e1 / e2);
+    EXPECT_GT(rate, 2.2);
+    EXPECT_LT(e2, 2e-3);
+  });
+}
+
+TEST_P(AdvectionRanks, ConservationOnHangingMesh) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 2}, {true, true});
+    auto f = Forest<2>::new_uniform(c, &conn, 2);
+    f.refine(4, true, [&](int t, const Octant<2>& o) {
+      return o.level < 4 && random_mark(t, o, 8, 3);
+    });
+    f.balance();
+    f.partition();
+    const auto g = GhostLayer<2>::build(f);
+    const auto mesh = DgMesh<2>::build(f, g, 3, vertex_map<2>(conn));
+    Advection<2> adv(&mesh, [](const std::array<double, 3>&) {
+      return std::array<double, 3>{0.8, 0.45, 0.0};
+    });
+    std::vector<double> cf(static_cast<std::size_t>(mesh.n_local) * mesh.nv);
+    for (std::size_t i = 0; i < cf.size(); ++i) {
+      cf[i] = std::sin(M_PI * mesh.coords[i * 3]) * std::sin(M_PI * mesh.coords[i * 3 + 1]) + 0.3;
+    }
+    const double mass0 = adv.integral(cf);
+    const double dt = adv.stable_dt(0.3);
+    for (int s = 0; s < 20; ++s) adv.step(cf, dt);
+    const double mass1 = adv.integral(cf);
+    // Affine periodic mesh with hanging faces: conservative to roundoff.
+    EXPECT_NEAR(mass1, mass0, 1e-10 * std::abs(mass0) + 1e-12);
+  });
+}
+
+TEST_P(AdvectionRanks, SolidBodyRotationOnAnnulus) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::ring(8);
+    auto f = Forest<2>::new_uniform(c, &conn, 2);
+    const auto g = GhostLayer<2>::build(f);
+    const auto mesh = DgMesh<2>::build(f, g, 4, annulus_map(8));
+    // Rigid rotation: u = omega x r (divergence-free, tangential at the
+    // inner/outer boundaries).
+    const double omega = 1.0;
+    Advection<2> adv(&mesh, [omega](const std::array<double, 3>& x) {
+      return std::array<double, 3>{-omega * x[1], omega * x[0], 0.0};
+    });
+    const auto gauss = [](double x, double y, double cx, double cy) {
+      const double r2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+      return std::exp(-40.0 * r2);
+    };
+    std::vector<double> cf(static_cast<std::size_t>(mesh.n_local) * mesh.nv);
+    for (std::size_t i = 0; i < cf.size(); ++i) {
+      cf[i] = gauss(mesh.coords[i * 3], mesh.coords[i * 3 + 1], 0.775, 0.0);
+    }
+    // Rotate by a quarter turn; compare against the rotated profile.
+    const double tfinal = M_PI / 2.0;
+    const double dt0 = adv.stable_dt(0.4);
+    const int nsteps = static_cast<int>(std::ceil(tfinal / dt0));
+    const double dt = tfinal / nsteps;
+    for (int s = 0; s < nsteps; ++s) adv.step(cf, dt);
+    const double err = adv.l2_error(cf, [&](const std::array<double, 3>& x) {
+      return gauss(x[0], x[1], 0.0, 0.775);
+    });
+    EXPECT_LT(err, 0.02);
+  });
+}
+
+TEST_P(AdvectionRanks, AmrDriverTracksAMovingFront) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 2}, {true, true});
+    AmrAdvectionDriver<2> driver(
+        c, &conn, vertex_map<2>(conn),
+        [](const std::array<double, 3>&) {
+          return std::array<double, 3>{0.9, 0.4, 0.0};
+        },
+        /*degree=*/2, /*initial_level=*/2, /*max_level=*/4);
+    const auto blob = [](const std::array<double, 3>& x) {
+      const double r2 = (x[0] - 1.0) * (x[0] - 1.0) + (x[1] - 1.0) * (x[1] - 1.0);
+      return std::exp(-30.0 * r2);
+    };
+    driver.initialize(blob, 2, 0.05, 0.01);
+    const auto n0 = driver.forest().num_global();
+    // The adapted mesh is finer than uniform level 2 but much coarser than
+    // uniform level 4.
+    EXPECT_GT(n0, 4 * 16);
+    EXPECT_LT(n0, 4 * 256);
+    const double mass0 = driver.advection().integral(driver.solution());
+    driver.run(/*nsteps=*/24, /*adapt_every=*/8, /*cfl=*/0.35, 0.05, 0.01);
+    const double mass1 = driver.advection().integral(driver.solution());
+    EXPECT_NEAR(mass1, mass0, 1e-6 * std::abs(mass0) + 1e-10);
+    EXPECT_TRUE(driver.forest().is_valid_local());
+    EXPECT_GT(driver.amr_seconds() + driver.solve_seconds(), 0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdvectionRanks, ::testing::Values(1, 2, 4));

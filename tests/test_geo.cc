@@ -1,0 +1,86 @@
+// Tests for the earth models: PREM-like layering and the mantle rheology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/earth_model.h"
+#include "geo/rheology.h"
+
+using namespace esamr::geo;
+
+TEST(EarthModel, LayerStructureIsMonotoneInRadius) {
+  const auto m = EarthModel::prem_like();
+  ASSERT_GE(m.layers().size(), 5u);
+  double prev = 0.0;
+  for (const auto& l : m.layers()) {
+    EXPECT_DOUBLE_EQ(l.r0, prev);
+    EXPECT_GT(l.r1, l.r0);
+    prev = l.r1;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(EarthModel, OuterCoreIsFluid) {
+  const auto m = EarthModel::prem_like();
+  const auto s = m.at(0.35);  // inside the outer core
+  EXPECT_EQ(s.vs, 0.0);
+  EXPECT_GT(s.vp, 7.0);
+}
+
+TEST(EarthModel, VelocityJumpAtCmb) {
+  const auto m = EarthModel::prem_like();
+  const auto below = m.at(0.546);
+  const auto above = m.at(0.547);
+  EXPECT_GT(above.vp - below.vp, 3.0);  // CMB: ~8 -> ~13.7 km/s
+  EXPECT_GT(above.vs, 5.0);
+}
+
+TEST(EarthModel, MinWaveSpeedSeesLayerBreaks) {
+  const auto m = EarthModel::prem_like();
+  // Across the CMB the minimum is the fluid core's top vp... no: min of
+  // vs-or-vp; outer core top has vp ~8, lower mantle bottom vs ~7.26.
+  const double v = m.min_wave_speed(0.5, 0.6);
+  EXPECT_LT(v, 7.5);
+  EXPECT_GT(v, 5.0);
+}
+
+TEST(Rheology, TemperatureDependence) {
+  Rheology rh;
+  // Colder is (much) stiffer.
+  EXPECT_GT(rh.viscosity(0.3, 1.0, 0.0, 0.9), 10.0 * rh.viscosity(1.0, 1.0, 0.0, 0.9));
+  // Clamped to bounds.
+  EXPECT_LE(rh.viscosity(0.05, 1e-8, 0.0, 0.9), rh.eta_max);
+  EXPECT_GE(rh.viscosity(1.0, 1e3, 0.0, 0.9), rh.eta_min);
+}
+
+TEST(Rheology, StrainRateWeakeningAndYield) {
+  Rheology rh;
+  const double lo = rh.viscosity(0.7, 0.1, 0.0, 0.9);
+  const double hi = rh.viscosity(0.7, 100.0, 0.0, 0.9);
+  EXPECT_LT(hi, lo);  // shear thinning (c3 < 0) plus yielding
+  // Yield cap active at extreme strain rates (down to the eta_min clamp).
+  EXPECT_LE(rh.viscosity(0.3, 1e6, 0.0, 0.9),
+            std::max(rh.yield_stress / (2.0 * 1e6), rh.eta_min) * 1.0001);
+}
+
+TEST(Rheology, PlateBoundariesAreWeakAndNarrow) {
+  Rheology rh;
+  rh.plate_boundaries = {1.0};
+  const double inside = rh.viscosity(0.5, 1.0, 1.0, 0.95);
+  const double outside = rh.viscosity(0.5, 1.0, 1.0 + 5.0 * rh.plate_halfwidth, 0.95);
+  EXPECT_LT(inside, 1e-2 * outside);
+  // Weak zones do not reach deep.
+  const double deep = rh.viscosity(0.5, 1.0, 1.0, 0.7);
+  EXPECT_NEAR(deep, outside, 1e-9 * outside);
+}
+
+TEST(Rheology, TemperatureModelHasColdSlabs) {
+  TemperatureModel tm;
+  tm.slab_angles = {2.0};
+  const double slab = tm.at(2.0, 0.93);
+  const double away = tm.at(2.0 + 1.0, 0.93);
+  EXPECT_LT(slab, away - 0.2);
+  // Surface cold, interior hot.
+  EXPECT_LT(tm.at(0.5, 0.999), 0.3);
+  EXPECT_GT(tm.at(0.5, 0.6), 0.9);
+}

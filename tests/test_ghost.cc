@@ -1,0 +1,231 @@
+// Tests for the Ghost layer: completeness and exactness against a
+// brute-force adjacency computation on the globally gathered forest, and
+// round-trip payload exchange.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "forest/ghost.h"
+
+using namespace esamr::forest;
+namespace par = esamr::par;
+
+namespace {
+
+struct TaggedOct {
+  int tree;
+  int owner;
+  OctMsg msg;
+};
+
+template <int Dim>
+std::vector<std::pair<std::pair<int, int>, Octant<Dim>>> gather_owned(const Forest<Dim>& f) {
+  std::vector<OctMsg> local;
+  f.for_each_local([&](int t, const Octant<Dim>& o) {
+    local.push_back(OctMsg{t, o.x, o.y, Dim == 3 ? o.z : 0, o.level});
+  });
+  std::vector<std::pair<std::pair<int, int>, Octant<Dim>>> all;  // ((tree, owner), oct)
+  const auto received = f.comm().allgatherv(local);
+  for (int r = 0; r < f.comm().size(); ++r) {
+    for (const OctMsg& m : received[static_cast<std::size_t>(r)]) {
+      Octant<Dim> o;
+      o.x = m.x;
+      o.y = m.y;
+      if constexpr (Dim == 3) o.z = m.z;
+      o.level = static_cast<std::int8_t>(m.level);
+      all.push_back({{m.tree, r}, o});
+    }
+  }
+  return all;
+}
+
+/// True if leaf (t2, b) touches leaf (t1, a): b overlaps one of a's
+/// same-level neighbor regions AND reaches that region's interface entity.
+template <int Dim>
+bool touches(const Connectivity<Dim>& conn, int t1, const Octant<Dim>& a, int t2,
+             const Octant<Dim>& b) {
+  using Pins = typename Connectivity<Dim>::EntityPins;
+  bool hit = false;
+  const auto check = [&](int ti, const Octant<Dim>& n, const Pins& pins) {
+    if (ti != t2 || !(n.overlaps(b))) return;
+    // b must reach the pinned interface of n.
+    for (int ax = 0; ax < Dim; ++ax) {
+      const auto pin = pins.pin[static_cast<std::size_t>(ax)];
+      if (pin < 0) continue;
+      const std::int64_t iface =
+          pin ? static_cast<std::int64_t>(n.coord(ax)) + n.size() : n.coord(ax);
+      const std::int64_t blo = b.coord(ax), bhi = static_cast<std::int64_t>(b.coord(ax)) + b.size();
+      if (iface < blo || iface > bhi) return;
+    }
+    hit = true;
+  };
+  const auto place = [&](const Octant<Dim>& n, const Pins& pins) {
+    if (n.inside_root()) {
+      check(t1, n, pins);
+    } else {
+      for (const auto& [ti, img, p2] : conn.exterior_images_entity(t1, n, pins)) {
+        check(ti, img, p2);
+      }
+    }
+  };
+  for (int fc = 0; fc < Topo<Dim>::num_faces; ++fc) {
+    Pins pins;
+    pins.pin[static_cast<std::size_t>(fc / 2)] = static_cast<std::int8_t>(1 - (fc % 2));
+    place(a.face_neighbor(fc), pins);
+  }
+  if constexpr (Dim == 3) {
+    for (int e = 0; e < 12; ++e) {
+      const int axis = Topo<3>::edge_axis[e];
+      const int idx = e & 3;
+      Pins pins;
+      int k = 0;
+      for (int ax = 0; ax < 3; ++ax) {
+        if (ax == axis) continue;
+        pins.pin[static_cast<std::size_t>(ax)] = static_cast<std::int8_t>(1 - ((idx >> k) & 1));
+        ++k;
+      }
+      place(a.edge_neighbor(e), pins);
+    }
+  }
+  for (int c = 0; c < Topo<Dim>::num_corners; ++c) {
+    Pins pins;
+    for (int ax = 0; ax < Dim; ++ax) {
+      pins.pin[static_cast<std::size_t>(ax)] = static_cast<std::int8_t>(1 - ((c >> ax) & 1));
+    }
+    place(a.corner_neighbor(c), pins);
+  }
+  return hit;
+}
+
+/// Compare the distributed ghost layer against brute force on every rank.
+template <int Dim>
+void expect_ghost_exact(const Forest<Dim>& f, const GhostLayer<Dim>& g) {
+  const auto all = gather_owned(f);
+  const int me = f.comm().rank();
+  std::set<std::tuple<int, std::uint64_t, int>> expected;  // (tree, key, level)
+  for (const auto& [to1, a] : all) {
+    if (to1.second != me) continue;  // a must be one of my leaves
+    for (const auto& [to2, b] : all) {
+      if (to2.second == me) continue;  // b must be foreign
+      if (touches(f.conn(), to1.first, a, to2.first, b) ||
+          touches(f.conn(), to2.first, b, to1.first, a)) {
+        expected.insert({to2.first, b.key(), b.level});
+      }
+    }
+  }
+  std::set<std::tuple<int, std::uint64_t, int>> got;
+  for (const auto& gh : g.ghosts) {
+    got.insert({gh.tree, gh.oct.key(), gh.oct.level});
+  }
+  EXPECT_EQ(got, expected);
+}
+
+template <int Dim>
+bool random_mark(int t, const Octant<Dim>& o, unsigned salt, int mod) {
+  const std::uint64_t h =
+      (o.key() * 0x9e3779b97f4a7c15ull + static_cast<unsigned>(t) * 77ull + salt) >> 17;
+  return h % static_cast<unsigned>(mod) == 0;
+}
+
+}  // namespace
+
+class GhostRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(GhostRanks, UniformSquare) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::unit();
+    auto f = Forest<2>::new_uniform(c, &conn, 3);
+    const auto g = GhostLayer<2>::build(f);
+    expect_ghost_exact(f, g);
+  });
+}
+
+TEST_P(GhostRanks, AdaptiveBalancedSquare) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 1}, {false, false});
+    auto f = Forest<2>::new_uniform(c, &conn, 2);
+    f.refine(6, true, [&](int t, const Octant<2>& o) {
+      return o.level < 5 && random_mark(t, o, 2, 4);
+    });
+    f.balance();
+    f.partition();
+    const auto g = GhostLayer<2>::build(f);
+    expect_ghost_exact(f, g);
+  });
+}
+
+TEST_P(GhostRanks, PeriodicTorus) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 2}, {true, true});
+    auto f = Forest<2>::new_uniform(c, &conn, 2);
+    f.refine(4, false, [&](int t, const Octant<2>& o) { return random_mark(t, o, 9, 3); });
+    f.balance();
+    const auto g = GhostLayer<2>::build(f);
+    expect_ghost_exact(f, g);
+  });
+}
+
+TEST_P(GhostRanks, Adaptive3DRotcubes) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<3>::rotcubes();
+    auto f = Forest<3>::new_uniform(c, &conn, 1);
+    f.refine(3, true, [&](int t, const Octant<3>& o) {
+      return o.level < 3 && random_mark(t, o, 4, 5);
+    });
+    f.balance();
+    f.partition();
+    const auto g = GhostLayer<3>::build(f);
+    expect_ghost_exact(f, g);
+  });
+}
+
+TEST_P(GhostRanks, Shell3D) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<3>::shell();
+    auto f = Forest<3>::new_uniform(c, &conn, 1);
+    f.refine(2, false, [&](int t, const Octant<3>& o) { return random_mark(t, o, 8, 4); });
+    f.balance();
+    const auto g = GhostLayer<3>::build(f);
+    expect_ghost_exact(f, g);
+  });
+}
+
+TEST_P(GhostRanks, PayloadExchangeRoundTrip) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 2}, {false, false});
+    auto f = Forest<2>::new_uniform(c, &conn, 3);
+    f.refine(5, false, [&](int t, const Octant<2>& o) { return random_mark(t, o, 1, 4); });
+    f.balance();
+    const auto g = GhostLayer<2>::build(f);
+    // Payload = deterministic function of (tree, octant); receivers verify.
+    const auto fingerprint = [](int t, const Octant<2>& o) {
+      return static_cast<double>(o.key() % 100003) + 1000.0 * t + 0.5 * o.level;
+    };
+    std::vector<double> mirror_data;
+    for (const auto& m : g.mirrors) mirror_data.push_back(fingerprint(m.tree, m.oct));
+    const auto ghost_data = g.exchange<double>(c, mirror_data, 1);
+    ASSERT_EQ(ghost_data.size(), g.ghosts.size());
+    for (std::size_t i = 0; i < g.ghosts.size(); ++i) {
+      EXPECT_EQ(ghost_data[i], fingerprint(g.ghosts[i].tree, g.ghosts[i].oct));
+    }
+  });
+}
+
+TEST_P(GhostRanks, GhostsSortedByOwnerThenSfc) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::unit();
+    auto f = Forest<2>::new_uniform(c, &conn, 4);
+    const auto g = GhostLayer<2>::build(f);
+    for (std::size_t i = 1; i < g.ghosts.size(); ++i) {
+      const auto& a = g.ghosts[i - 1];
+      const auto& b = g.ghosts[i];
+      const bool ordered = a.owner < b.owner || (a.owner == b.owner && a.tree < b.tree) ||
+                           (a.owner == b.owner && a.tree == b.tree && a.oct < b.oct);
+      EXPECT_TRUE(ordered);
+    }
+    // No local leaves and no duplicates among ghosts.
+    for (const auto& gh : g.ghosts) EXPECT_NE(gh.owner, c.rank());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GhostRanks, ::testing::Values(1, 2, 3, 5));

@@ -1,0 +1,132 @@
+// Tests for the SPMD message-passing runtime (src/par).
+#include "par/comm.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace par = esamr::par;
+
+class ParRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParRanks, AllgatherOrdersByRank) {
+  const int p = GetParam();
+  par::run(p, [&](par::Comm& c) {
+    const auto got = c.allgather(c.rank() * 10 + 1);
+    ASSERT_EQ(static_cast<int>(got.size()), p);
+    for (int r = 0; r < p; ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], r * 10 + 1);
+  });
+}
+
+TEST_P(ParRanks, AllgathervVariableLengths) {
+  const int p = GetParam();
+  par::run(p, [&](par::Comm& c) {
+    std::vector<int> mine(static_cast<std::size_t>(c.rank() + 1), c.rank());
+    const auto got = c.allgatherv(mine);
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), static_cast<std::size_t>(r + 1));
+      for (const int v : got[static_cast<std::size_t>(r)]) EXPECT_EQ(v, r);
+    }
+  });
+}
+
+TEST_P(ParRanks, AllreduceOps) {
+  const int p = GetParam();
+  par::run(p, [&](par::Comm& c) {
+    EXPECT_EQ(c.allreduce(c.rank() + 1, par::ReduceOp::sum), p * (p + 1) / 2);
+    EXPECT_EQ(c.allreduce(c.rank(), par::ReduceOp::max), p - 1);
+    EXPECT_EQ(c.allreduce(c.rank(), par::ReduceOp::min), 0);
+    EXPECT_EQ(c.allreduce(static_cast<int>(c.rank() == p - 1), par::ReduceOp::logical_or), 1);
+    EXPECT_EQ(c.allreduce(static_cast<int>(c.rank() == p - 1), par::ReduceOp::logical_and),
+              p == 1 ? 1 : 0);
+  });
+}
+
+TEST_P(ParRanks, ExscanSum) {
+  const int p = GetParam();
+  par::run(p, [&](par::Comm& c) {
+    const auto pre = c.exscan_sum(c.rank() + 1);
+    int expect = 0;
+    for (int r = 0; r < c.rank(); ++r) expect += r + 1;
+    EXPECT_EQ(pre, expect);
+  });
+}
+
+TEST_P(ParRanks, BcastFromEveryRoot) {
+  const int p = GetParam();
+  par::run(p, [&](par::Comm& c) {
+    for (int root = 0; root < p; ++root) {
+      EXPECT_EQ(c.bcast(c.rank() * 7, root), root * 7);
+    }
+  });
+}
+
+TEST_P(ParRanks, AlltoallvPersonalized) {
+  const int p = GetParam();
+  par::run(p, [&](par::Comm& c) {
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      send[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(d + 1),
+                                               c.rank() * 100 + d);
+    }
+    const auto got = c.alltoallv(send);
+    for (int s = 0; s < p; ++s) {
+      ASSERT_EQ(got[static_cast<std::size_t>(s)].size(), static_cast<std::size_t>(c.rank() + 1));
+      for (const int v : got[static_cast<std::size_t>(s)]) EXPECT_EQ(v, s * 100 + c.rank());
+    }
+  });
+}
+
+TEST_P(ParRanks, PointToPointRing) {
+  const int p = GetParam();
+  par::run(p, [&](par::Comm& c) {
+    const int next = (c.rank() + 1) % p;
+    const int prev = (c.rank() + p - 1) % p;
+    c.send_value(next, 42, c.rank());
+    const auto msg = c.recv(prev, 42);
+    EXPECT_EQ(msg.value<int>(), prev);
+    EXPECT_EQ(msg.source, prev);
+  });
+}
+
+TEST_P(ParRanks, RecvMatchesByTag) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  par::run(p, [&](par::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 7, 700);
+      c.send_value(1, 8, 800);
+    }
+    if (c.rank() == 1) {
+      // Receive out of send order by tag.
+      EXPECT_EQ(c.recv(0, 8).value<int>(), 800);
+      EXPECT_EQ(c.recv(0, 7).value<int>(), 700);
+    }
+    c.barrier();
+  });
+}
+
+TEST_P(ParRanks, RunCollectReturnsPerRank) {
+  const int p = GetParam();
+  const auto res = par::run_collect<int>(p, [](par::Comm& c) { return c.rank() * c.rank(); });
+  for (int r = 0; r < p; ++r) EXPECT_EQ(res[static_cast<std::size_t>(r)], r * r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParRanks, ::testing::Values(1, 2, 3, 4, 7, 16));
+
+TEST(Par, RankExceptionPropagates) {
+  EXPECT_THROW(par::run(3,
+                        [](par::Comm& c) {
+                          c.barrier();
+                          if (c.rank() == 1) throw std::runtime_error("boom");
+                          c.barrier();  // peers unwind via poisoning
+                        }),
+               std::runtime_error);
+}
+
+TEST(Par, ThreadCpuClockAdvances) {
+  const double t0 = par::thread_cpu_seconds();
+  volatile double x = 0.0;
+  for (int i = 0; i < 2000000; ++i) x = x + 1e-9;
+  EXPECT_GT(par::thread_cpu_seconds(), t0);
+}

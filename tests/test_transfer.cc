@@ -1,0 +1,150 @@
+// Tests for solution transfer under Refine/Coarsen/Balance and Partition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sfem/dg_mesh.h"
+#include "sfem/transfer.h"
+
+using namespace esamr::sfem;
+using namespace esamr::forest;
+namespace par = esamr::par;
+
+namespace {
+
+template <int Dim>
+bool random_mark(int t, const Octant<Dim>& o, unsigned salt, int mod) {
+  const std::uint64_t h =
+      (o.key() * 0x9e3779b97f4a7c15ull + static_cast<unsigned>(t) * 77ull + salt) >> 17;
+  return h % static_cast<unsigned>(mod) == 0;
+}
+
+/// Sample a polynomial of total degree <= basis degree at the element nodes.
+template <int Dim>
+std::vector<double> sample_poly(const Forest<Dim>& f, const Basis1d& b, int ncomp) {
+  const int np = b.np;
+  const int nv = ipow(np, Dim);
+  constexpr double root = static_cast<double>(Octant<Dim>::root_len);
+  std::vector<double> data;
+  f.for_each_local([&](int t, const Octant<Dim>& o) {
+    for (int c = 0; c < ncomp; ++c) {
+      for (int node = 0; node < nv; ++node) {
+        std::array<int, 3> idx{node % np, (node / np) % np, Dim == 3 ? node / (np * np) : 0};
+        double x[3] = {0, 0, 0};
+        for (int a = 0; a < Dim; ++a) {
+          x[a] = (o.coord(a) +
+                  0.5 * (b.nodes[static_cast<std::size_t>(idx[static_cast<std::size_t>(a)])] + 1.0) *
+                      o.size()) /
+                 root;
+        }
+        // Degree-2 polynomial in tree-reference coordinates, offset per tree
+        // and component.
+        data.push_back(0.5 * t + c + 1.7 * x[0] - 0.8 * x[1] + 0.3 * x[0] * x[1] +
+                       0.9 * x[2] * x[2]);
+      }
+    }
+  });
+  return data;
+}
+
+}  // namespace
+
+class TransferRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransferRanks, RefineIsExactForPolynomials) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 1}, {false, false});
+    auto f = Forest<2>::new_uniform(c, &conn, 2);
+    const auto basis = Basis1d::make(2);
+    auto data = sample_poly<2>(f, basis, 2);
+    std::vector<std::vector<Octant<2>>> old_trees;
+    for (int t = 0; t < f.num_trees(); ++t) old_trees.push_back(f.tree(t));
+    f.refine(5, true, [&](int t, const Octant<2>& o) {
+      return o.level < 4 && random_mark(t, o, 2, 3);
+    });
+    f.balance();
+    data = transfer_fields<2>(old_trees, f, data, 2, basis);
+    const auto exact = sample_poly<2>(f, basis, 2);
+    ASSERT_EQ(data.size(), exact.size());
+    for (std::size_t i = 0; i < data.size(); ++i) EXPECT_NEAR(data[i], exact[i], 1e-11);
+  });
+}
+
+TEST_P(TransferRanks, CoarsenProjectionIsExactForPolynomials) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    // A smooth polynomial lives in the coarse space too, so the elementwise
+    // L2 projection reproduces it exactly.
+    const auto conn = Connectivity<3>::unit();
+    auto f = Forest<3>::new_uniform(c, &conn, 2);
+    f.partition([](int, const Octant<3>&) { return 1.0; });
+    const auto basis = Basis1d::make(2);
+    auto data = sample_poly<3>(f, basis, 1);
+    std::vector<std::vector<Octant<3>>> old_trees;
+    for (int t = 0; t < f.num_trees(); ++t) old_trees.push_back(f.tree(t));
+    f.coarsen(false, [](int, const Octant<3>&) { return true; });
+    data = transfer_fields<3>(old_trees, f, data, 1, basis);
+    const auto exact = sample_poly<3>(f, basis, 1);
+    ASSERT_EQ(data.size(), exact.size());
+    for (std::size_t i = 0; i < data.size(); ++i) EXPECT_NEAR(data[i], exact[i], 1e-10);
+  });
+}
+
+TEST_P(TransferRanks, RefineThenCoarsenRoundTrips) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::unit();
+    auto f = Forest<2>::new_uniform(c, &conn, 3);
+    const auto basis = Basis1d::make(3);
+    // Arbitrary (non-polynomial) data: interpolation then projection of the
+    // SAME hierarchy is the identity.
+    std::vector<double> data;
+    {
+      std::size_t i = 0;
+      f.for_each_local([&](int, const Octant<2>&) {
+        for (int node = 0; node < 16; ++node) {
+          data.push_back(std::sin(0.37 * static_cast<double>(++i) + 0.1 * node));
+        }
+      });
+    }
+    std::vector<std::vector<Octant<2>>> trees0;
+    for (int t = 0; t < f.num_trees(); ++t) trees0.push_back(f.tree(t));
+    const auto data0 = data;
+
+    f.refine(6, false, [](int, const Octant<2>&) { return true; });
+    data = transfer_fields<2>(trees0, f, data, 1, basis);
+    std::vector<std::vector<Octant<2>>> trees1;
+    for (int t = 0; t < f.num_trees(); ++t) trees1.push_back(f.tree(t));
+    f.coarsen(false, [](int, const Octant<2>&) { return true; });
+    data = transfer_fields<2>(trees1, f, data, 1, basis);
+
+    ASSERT_EQ(f.checksum(), Forest<2>::new_uniform(c, &conn, 3).checksum());
+    ASSERT_EQ(data.size(), data0.size());
+    for (std::size_t i = 0; i < data.size(); ++i) EXPECT_NEAR(data[i], data0[i], 1e-12);
+  });
+}
+
+TEST_P(TransferRanks, PartitionPayloadFollowsOctants) {
+  par::run(GetParam(), [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 2}, {false, false});
+    auto f = Forest<2>::new_uniform(c, &conn, 2);
+    f.refine(4, false, [&](int t, const Octant<2>& o) { return random_mark(t, o, 4, 3); });
+    // Payload = fingerprint of the octant; verify alignment after two
+    // repartitions (uniform and weighted).
+    const auto fingerprint = [](int t, const Octant<2>& o) {
+      return static_cast<double>(o.key() % 99991) + 1e6 * t + 0.25 * o.level;
+    };
+    std::vector<double> payload;
+    f.for_each_local([&](int t, const Octant<2>& o) { payload.push_back(fingerprint(t, o)); });
+    f.partition_payload(nullptr, 1, payload);
+    const std::function<double(int, const Octant<2>&)> w = [](int, const Octant<2>& o) {
+      return o.level + 1.0;
+    };
+    f.partition_payload(&w, 1, payload);
+    std::size_t i = 0;
+    f.for_each_local([&](int t, const Octant<2>& o) {
+      EXPECT_EQ(payload[i++], fingerprint(t, o));
+    });
+    EXPECT_EQ(i, payload.size());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransferRanks, ::testing::Values(1, 2, 3, 5));
