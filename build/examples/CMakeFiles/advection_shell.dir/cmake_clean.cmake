@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advection_shell.dir/advection_shell.cpp.o"
+  "CMakeFiles/advection_shell.dir/advection_shell.cpp.o.d"
+  "advection_shell"
+  "advection_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advection_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

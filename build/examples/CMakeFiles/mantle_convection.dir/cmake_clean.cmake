@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_convection.dir/mantle_convection.cpp.o"
+  "CMakeFiles/mantle_convection.dir/mantle_convection.cpp.o.d"
+  "mantle_convection"
+  "mantle_convection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_convection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

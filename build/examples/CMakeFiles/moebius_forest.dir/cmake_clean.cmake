@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moebius_forest.dir/moebius_forest.cpp.o"
+  "CMakeFiles/moebius_forest.dir/moebius_forest.cpp.o.d"
+  "moebius_forest"
+  "moebius_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moebius_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_waves.dir/seismic_waves.cpp.o"
+  "CMakeFiles/seismic_waves.dir/seismic_waves.cpp.o.d"
+  "seismic_waves"
+  "seismic_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esamr_apps.dir/mantle.cc.o"
+  "CMakeFiles/esamr_apps.dir/mantle.cc.o.d"
+  "CMakeFiles/esamr_apps.dir/seismic.cc.o"
+  "CMakeFiles/esamr_apps.dir/seismic.cc.o.d"
+  "libesamr_apps.a"
+  "libesamr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esamr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesamr_apps.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forest/balance.cc" "src/forest/CMakeFiles/esamr_forest.dir/balance.cc.o" "gcc" "src/forest/CMakeFiles/esamr_forest.dir/balance.cc.o.d"
+  "/root/repo/src/forest/connectivity.cc" "src/forest/CMakeFiles/esamr_forest.dir/connectivity.cc.o" "gcc" "src/forest/CMakeFiles/esamr_forest.dir/connectivity.cc.o.d"
+  "/root/repo/src/forest/forest.cc" "src/forest/CMakeFiles/esamr_forest.dir/forest.cc.o" "gcc" "src/forest/CMakeFiles/esamr_forest.dir/forest.cc.o.d"
+  "/root/repo/src/forest/ghost.cc" "src/forest/CMakeFiles/esamr_forest.dir/ghost.cc.o" "gcc" "src/forest/CMakeFiles/esamr_forest.dir/ghost.cc.o.d"
+  "/root/repo/src/forest/nodes.cc" "src/forest/CMakeFiles/esamr_forest.dir/nodes.cc.o" "gcc" "src/forest/CMakeFiles/esamr_forest.dir/nodes.cc.o.d"
+  "/root/repo/src/forest/stats.cc" "src/forest/CMakeFiles/esamr_forest.dir/stats.cc.o" "gcc" "src/forest/CMakeFiles/esamr_forest.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/par/CMakeFiles/esamr_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

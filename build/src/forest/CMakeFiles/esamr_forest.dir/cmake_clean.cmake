@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esamr_forest.dir/balance.cc.o"
+  "CMakeFiles/esamr_forest.dir/balance.cc.o.d"
+  "CMakeFiles/esamr_forest.dir/connectivity.cc.o"
+  "CMakeFiles/esamr_forest.dir/connectivity.cc.o.d"
+  "CMakeFiles/esamr_forest.dir/forest.cc.o"
+  "CMakeFiles/esamr_forest.dir/forest.cc.o.d"
+  "CMakeFiles/esamr_forest.dir/ghost.cc.o"
+  "CMakeFiles/esamr_forest.dir/ghost.cc.o.d"
+  "CMakeFiles/esamr_forest.dir/nodes.cc.o"
+  "CMakeFiles/esamr_forest.dir/nodes.cc.o.d"
+  "CMakeFiles/esamr_forest.dir/stats.cc.o"
+  "CMakeFiles/esamr_forest.dir/stats.cc.o.d"
+  "libesamr_forest.a"
+  "libesamr_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esamr_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esamr_geo.dir/earth_model.cc.o"
+  "CMakeFiles/esamr_geo.dir/earth_model.cc.o.d"
+  "CMakeFiles/esamr_geo.dir/rheology.cc.o"
+  "CMakeFiles/esamr_geo.dir/rheology.cc.o.d"
+  "libesamr_geo.a"
+  "libesamr_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esamr_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esamr_io.dir/vtk.cc.o"
+  "CMakeFiles/esamr_io.dir/vtk.cc.o.d"
+  "libesamr_io.a"
+  "libesamr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esamr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

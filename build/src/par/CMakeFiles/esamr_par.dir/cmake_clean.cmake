@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esamr_par.dir/comm.cc.o"
+  "CMakeFiles/esamr_par.dir/comm.cc.o.d"
+  "libesamr_par.a"
+  "libesamr_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esamr_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

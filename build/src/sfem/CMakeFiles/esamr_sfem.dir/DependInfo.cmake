@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfem/cg_fem.cc" "src/sfem/CMakeFiles/esamr_sfem.dir/cg_fem.cc.o" "gcc" "src/sfem/CMakeFiles/esamr_sfem.dir/cg_fem.cc.o.d"
+  "/root/repo/src/sfem/dg_advection.cc" "src/sfem/CMakeFiles/esamr_sfem.dir/dg_advection.cc.o" "gcc" "src/sfem/CMakeFiles/esamr_sfem.dir/dg_advection.cc.o.d"
+  "/root/repo/src/sfem/dg_elastic.cc" "src/sfem/CMakeFiles/esamr_sfem.dir/dg_elastic.cc.o" "gcc" "src/sfem/CMakeFiles/esamr_sfem.dir/dg_elastic.cc.o.d"
+  "/root/repo/src/sfem/dg_mesh.cc" "src/sfem/CMakeFiles/esamr_sfem.dir/dg_mesh.cc.o" "gcc" "src/sfem/CMakeFiles/esamr_sfem.dir/dg_mesh.cc.o.d"
+  "/root/repo/src/sfem/geometry.cc" "src/sfem/CMakeFiles/esamr_sfem.dir/geometry.cc.o" "gcc" "src/sfem/CMakeFiles/esamr_sfem.dir/geometry.cc.o.d"
+  "/root/repo/src/sfem/lgl.cc" "src/sfem/CMakeFiles/esamr_sfem.dir/lgl.cc.o" "gcc" "src/sfem/CMakeFiles/esamr_sfem.dir/lgl.cc.o.d"
+  "/root/repo/src/sfem/transfer.cc" "src/sfem/CMakeFiles/esamr_sfem.dir/transfer.cc.o" "gcc" "src/sfem/CMakeFiles/esamr_sfem.dir/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forest/CMakeFiles/esamr_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/esamr_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/esamr_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esamr_sfem.dir/cg_fem.cc.o"
+  "CMakeFiles/esamr_sfem.dir/cg_fem.cc.o.d"
+  "CMakeFiles/esamr_sfem.dir/dg_advection.cc.o"
+  "CMakeFiles/esamr_sfem.dir/dg_advection.cc.o.d"
+  "CMakeFiles/esamr_sfem.dir/dg_elastic.cc.o"
+  "CMakeFiles/esamr_sfem.dir/dg_elastic.cc.o.d"
+  "CMakeFiles/esamr_sfem.dir/dg_mesh.cc.o"
+  "CMakeFiles/esamr_sfem.dir/dg_mesh.cc.o.d"
+  "CMakeFiles/esamr_sfem.dir/geometry.cc.o"
+  "CMakeFiles/esamr_sfem.dir/geometry.cc.o.d"
+  "CMakeFiles/esamr_sfem.dir/lgl.cc.o"
+  "CMakeFiles/esamr_sfem.dir/lgl.cc.o.d"
+  "CMakeFiles/esamr_sfem.dir/transfer.cc.o"
+  "CMakeFiles/esamr_sfem.dir/transfer.cc.o.d"
+  "libesamr_sfem.a"
+  "libesamr_sfem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esamr_sfem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

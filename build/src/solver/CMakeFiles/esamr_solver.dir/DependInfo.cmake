@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/amg.cc" "src/solver/CMakeFiles/esamr_solver.dir/amg.cc.o" "gcc" "src/solver/CMakeFiles/esamr_solver.dir/amg.cc.o.d"
+  "/root/repo/src/solver/dist_csr.cc" "src/solver/CMakeFiles/esamr_solver.dir/dist_csr.cc.o" "gcc" "src/solver/CMakeFiles/esamr_solver.dir/dist_csr.cc.o.d"
+  "/root/repo/src/solver/krylov.cc" "src/solver/CMakeFiles/esamr_solver.dir/krylov.cc.o" "gcc" "src/solver/CMakeFiles/esamr_solver.dir/krylov.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/par/CMakeFiles/esamr_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

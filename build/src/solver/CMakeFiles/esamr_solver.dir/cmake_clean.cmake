@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esamr_solver.dir/amg.cc.o"
+  "CMakeFiles/esamr_solver.dir/amg.cc.o.d"
+  "CMakeFiles/esamr_solver.dir/dist_csr.cc.o"
+  "CMakeFiles/esamr_solver.dir/dist_csr.cc.o.d"
+  "CMakeFiles/esamr_solver.dir/krylov.cc.o"
+  "CMakeFiles/esamr_solver.dir/krylov.cc.o.d"
+  "libesamr_solver.a"
+  "libesamr_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esamr_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cg_fem.dir/test_cg_fem.cc.o"
+  "CMakeFiles/test_cg_fem.dir/test_cg_fem.cc.o.d"
+  "test_cg_fem"
+  "test_cg_fem.pdb"
+  "test_cg_fem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cg_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

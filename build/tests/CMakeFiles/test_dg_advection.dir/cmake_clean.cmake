@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dg_advection.dir/test_dg_advection.cc.o"
+  "CMakeFiles/test_dg_advection.dir/test_dg_advection.cc.o.d"
+  "test_dg_advection"
+  "test_dg_advection.pdb"
+  "test_dg_advection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dg_advection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dg_elastic.dir/test_dg_elastic.cc.o"
+  "CMakeFiles/test_dg_elastic.dir/test_dg_elastic.cc.o.d"
+  "test_dg_elastic"
+  "test_dg_elastic.pdb"
+  "test_dg_elastic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dg_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dg_mesh.cc" "tests/CMakeFiles/test_dg_mesh.dir/test_dg_mesh.cc.o" "gcc" "tests/CMakeFiles/test_dg_mesh.dir/test_dg_mesh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfem/CMakeFiles/esamr_sfem.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/esamr_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/esamr_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/esamr_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dg_mesh.dir/test_dg_mesh.cc.o"
+  "CMakeFiles/test_dg_mesh.dir/test_dg_mesh.cc.o.d"
+  "test_dg_mesh"
+  "test_dg_mesh.pdb"
+  "test_dg_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dg_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lgl.dir/test_lgl.cc.o"
+  "CMakeFiles/test_lgl.dir/test_lgl.cc.o.d"
+  "test_lgl"
+  "test_lgl.pdb"
+  "test_lgl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lgl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

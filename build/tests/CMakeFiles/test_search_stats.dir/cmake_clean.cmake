@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_stats.dir/test_search_stats.cc.o"
+  "CMakeFiles/test_search_stats.dir/test_search_stats.cc.o.d"
+  "test_search_stats"
+  "test_search_stats.pdb"
+  "test_search_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_par[1]_include.cmake")
+include("/root/repo/build/tests/test_octant[1]_include.cmake")
+include("/root/repo/build/tests/test_connectivity[1]_include.cmake")
+include("/root/repo/build/tests/test_forest[1]_include.cmake")
+include("/root/repo/build/tests/test_balance[1]_include.cmake")
+include("/root/repo/build/tests/test_ghost[1]_include.cmake")
+include("/root/repo/build/tests/test_nodes[1]_include.cmake")
+include("/root/repo/build/tests/test_lgl[1]_include.cmake")
+include("/root/repo/build/tests/test_dg_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_dg_advection[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_cg_fem[1]_include.cmake")
+include("/root/repo/build/tests/test_dg_elastic[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_search_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
