@@ -11,6 +11,7 @@
 // shape claims are the reproduction target (see EXPERIMENTS.md).
 #include <cinttypes>
 #include <cmath>
+#include <memory>
 
 #include "bench_util.h"
 #include "forest/nodes.h"

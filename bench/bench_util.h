@@ -32,4 +32,32 @@ inline double timed_sum(par::Comm& comm, const std::function<void()>& fn) {
   return comm.allreduce(dt, par::ReduceOp::sum);
 }
 
+/// One phase's cost: max-over-ranks busy time plus the communication the
+/// phase generated (CommStats deltas summed over ranks).
+struct PhaseCost {
+  double busy_max_s = 0.0;
+  std::int64_t msgs = 0;       ///< p2p + collective-internal messages
+  std::int64_t bytes = 0;      ///< p2p + collective-internal bytes moved
+  double blocked_s = 0.0;      ///< sum over ranks of recv+barrier blocked time
+};
+
+/// Measure a phase with comm volume (synchronized start). The delta is taken
+/// per rank before any reduction so the measurement traffic is not counted.
+inline PhaseCost timed_phase(par::Comm& comm, const std::function<void()>& fn) {
+  comm.barrier();
+  const par::CommStats before = comm.stats();
+  const double t0 = par::thread_cpu_seconds();
+  fn();
+  const double dt = par::thread_cpu_seconds() - t0;
+  par::CommStats delta = comm.stats();
+  delta -= before;
+  PhaseCost cost;
+  cost.busy_max_s = comm.allreduce(dt, par::ReduceOp::max);
+  cost.msgs = comm.allreduce(delta.total_msgs(), par::ReduceOp::sum);
+  cost.bytes = comm.allreduce(delta.total_bytes(), par::ReduceOp::sum);
+  cost.blocked_s =
+      comm.allreduce(delta.recv_blocked_s + delta.barrier_blocked_s, par::ReduceOp::sum);
+  return cost;
+}
+
 }  // namespace esamr::bench

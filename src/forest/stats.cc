@@ -31,6 +31,7 @@ ForestStats<Dim> ForestStats<Dim>::compute(const Forest<Dim>& f) {
     }
   }
   if (s.min_level < 0) s.min_level = 0;
+  s.comm_total = f.comm().stats_snapshot().total;
   return s;
 }
 

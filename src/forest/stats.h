@@ -5,6 +5,7 @@
 #include <array>
 
 #include "forest/forest.h"
+#include "par/stats.h"
 
 namespace esamr::forest {
 
@@ -18,6 +19,10 @@ struct ForestStats {
   int max_level = 0;
   /// Global leaf count per refinement level.
   std::array<std::int64_t, Octant<Dim>::max_level + 1> level_counts{};
+  /// Communication counters summed over all ranks at snapshot time
+  /// (cumulative since the SPMD section started, or since the caller last
+  /// reset per-rank stats). See par/stats.h for the accounting rule.
+  par::CommStats comm_total{};
 
   static ForestStats compute(const Forest<Dim>& f);
 };

@@ -1,0 +1,453 @@
+// Collective implementations for both Comm backends.
+//
+// p2p backend — real message-passing algorithms on send/recv:
+//   bcast      binomial tree rooted at `root`
+//   reduce     binomial tree (reverse of bcast)
+//   allreduce  recursive doubling with the standard non-power-of-two
+//              pre/post folding of the remainder ranks
+//   allgather  recursive doubling (power-of-two P), ring otherwise
+//   allgatherv ring (P-1 rounds, neighbor exchange)
+//   exscan     rank chain (rank r receives the prefix from r-1)
+//   alltoallv  pairwise: P-1 buffered sends, then P-1 receives
+//
+// reference backend — the original shared-slot pattern ("write own slot;
+// barrier; read peers' slots; barrier"), kept as the differential-testing
+// oracle. Its bcast is root-only (the root writes one shared buffer and
+// everyone else reads it) rather than the historical full allgather.
+//
+// Internal collective traffic uses a mailbox plane separate from user
+// point-to-point traffic, so a wildcard user recv can never steal a
+// collective message. Tags encode (collective sequence number, round) —
+// all ranks issue collectives in the same order, so the sequence numbers
+// agree across ranks by construction.
+#include <cstring>
+#include <stdexcept>
+
+#include "par/comm.h"
+#include "par/world.h"
+
+namespace esamr::par {
+
+namespace {
+
+constexpr int max_round = 2048;  ///< rounds per collective in the tag space
+constexpr int round_pre = 1024;  ///< allreduce non-pof2 pre-fold round id
+constexpr int round_post = 1025;
+
+bool is_pof2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int log2i(int pof2) {
+  int l = 0;
+  while ((1 << l) < pof2) ++l;
+  return l;
+}
+
+int pof2_below(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// Barrier with blocked time charged to the rank (used inside reference
+/// collectives, where the barrier is part of the algorithm, not a user call).
+void timed_barrier(World* w, int rank) {
+  const double t0 = wall_seconds();
+  w->barrier_wait(rank);
+  w->stats[static_cast<std::size_t>(rank)].barrier_blocked_s += wall_seconds() - t0;
+}
+
+}  // namespace
+
+void Comm::coll_begin(Coll kind, std::size_t payload_bytes) {
+  auto& st = stats();
+  const auto idx = static_cast<std::size_t>(kind);
+  ++st.coll_calls[idx];
+  st.coll_payload_bytes[idx] += static_cast<std::int64_t>(payload_bytes);
+  coll_tag_base_ = static_cast<int>((coll_seq_ % 1000000ULL) * static_cast<std::uint64_t>(max_round));
+  ++coll_seq_;
+}
+
+int Comm::coll_tag(int round) const {
+  if (round < 0 || round >= max_round) throw std::logic_error("par: collective round overflow");
+  return coll_tag_base_ + round;
+}
+
+void Comm::send_coll(int dest, int round, const void* data, std::size_t nbytes) {
+  send_impl(true, dest, coll_tag(round), data, nbytes);
+  auto& st = stats();
+  ++st.coll_msgs;
+  st.coll_bytes += static_cast<std::int64_t>(nbytes);
+}
+
+Message Comm::recv_coll(int source, int round, Coll kind) {
+  const double t0 = wall_seconds();
+  Message m = recv_impl(true, source, coll_tag(round), coll_name(kind));
+  stats().recv_blocked_s += wall_seconds() - t0;
+  return m;
+}
+
+// --- Reference backend (shared slots) --------------------------------------
+
+std::vector<std::vector<std::byte>> Comm::ref_gather(const void* data, std::size_t nbytes,
+                                                     bool count) {
+  const int p = size();
+  auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
+  slot.resize(nbytes);
+  if (nbytes > 0) std::memcpy(slot.data(), data, nbytes);
+  timed_barrier(world_, rank_);
+  std::vector<std::vector<std::byte>> out(world_->slots.begin(), world_->slots.end());
+  if (count) {
+    auto& st = stats();
+    st.coll_msgs += p;  // one slot write + P-1 peer reads
+    st.coll_bytes += static_cast<std::int64_t>(nbytes);
+    for (int r = 0; r < p; ++r) {
+      if (r != rank_) st.coll_bytes += static_cast<std::int64_t>(out[static_cast<std::size_t>(r)].size());
+    }
+  }
+  timed_barrier(world_, rank_);
+  return out;
+}
+
+void Comm::ref_bcast(std::vector<std::byte>& buf, int root) {
+  auto& st = stats();
+  if (rank_ == root) {
+    world_->bvec = buf;
+    ++st.coll_msgs;
+    st.coll_bytes += static_cast<std::int64_t>(buf.size());
+  }
+  timed_barrier(world_, rank_);
+  if (rank_ != root) {
+    buf = world_->bvec;
+    ++st.coll_msgs;
+    st.coll_bytes += static_cast<std::int64_t>(buf.size());
+  }
+  timed_barrier(world_, rank_);
+}
+
+void Comm::ref_allreduce(void* inout, std::size_t nbytes, const Combine& op) {
+  const auto all = ref_gather(inout, nbytes, true);
+  std::vector<std::byte> acc(all[0]);
+  for (std::size_t r = 1; r < all.size(); ++r) op(acc.data(), all[r].data());
+  if (nbytes > 0) std::memcpy(inout, acc.data(), nbytes);
+}
+
+void Comm::ref_reduce(void* inout, std::size_t nbytes, int root, const Combine& op) {
+  const int p = size();
+  auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
+  slot.resize(nbytes);
+  if (nbytes > 0) std::memcpy(slot.data(), inout, nbytes);
+  auto& st = stats();
+  ++st.coll_msgs;
+  st.coll_bytes += static_cast<std::int64_t>(nbytes);
+  timed_barrier(world_, rank_);
+  if (rank_ == root) {
+    std::vector<std::byte> acc(world_->slots[0]);
+    for (int r = 1; r < p; ++r) op(acc.data(), world_->slots[static_cast<std::size_t>(r)].data());
+    st.coll_msgs += p - 1;
+    st.coll_bytes += static_cast<std::int64_t>(nbytes) * (p - 1);
+    if (nbytes > 0) std::memcpy(inout, acc.data(), nbytes);
+  }
+  timed_barrier(world_, rank_);
+}
+
+void Comm::ref_exscan(const void* mine, void* prefix, std::size_t nbytes, const Combine& op) {
+  auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
+  slot.resize(nbytes);
+  if (nbytes > 0) std::memcpy(slot.data(), mine, nbytes);
+  auto& st = stats();
+  ++st.coll_msgs;
+  st.coll_bytes += static_cast<std::int64_t>(nbytes);
+  timed_barrier(world_, rank_);
+  for (int r = 0; r < rank_; ++r) {
+    op(prefix, world_->slots[static_cast<std::size_t>(r)].data());
+    ++st.coll_msgs;
+    st.coll_bytes += static_cast<std::int64_t>(nbytes);
+  }
+  timed_barrier(world_, rank_);
+}
+
+std::vector<std::vector<std::byte>> Comm::ref_alltoall(
+    std::vector<std::vector<std::byte>> sendbufs) {
+  const int p = size();
+  auto& st = stats();
+  for (int d = 0; d < p; ++d) {
+    if (d != rank_) {
+      ++st.coll_msgs;
+      st.coll_bytes += static_cast<std::int64_t>(sendbufs[static_cast<std::size_t>(d)].size());
+    }
+  }
+  world_->a2a[static_cast<std::size_t>(rank_)] = std::move(sendbufs);
+  timed_barrier(world_, rank_);
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    // a2a[s][rank_] is read by exactly one rank (this one), so moving is safe.
+    out[static_cast<std::size_t>(s)] =
+        std::move(world_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)]);
+    if (s != rank_) {
+      ++st.coll_msgs;
+      st.coll_bytes += static_cast<std::int64_t>(out[static_cast<std::size_t>(s)].size());
+    }
+  }
+  timed_barrier(world_, rank_);
+  return out;
+}
+
+// --- p2p backend ------------------------------------------------------------
+
+void Comm::p2p_binomial_bcast(std::vector<std::byte>& buf, int root) {
+  const int p = size();
+  if (p == 1) return;
+  const int vr = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p && !(vr & mask)) mask <<= 1;
+  if (vr != 0) {
+    // mask is now the lowest set bit of vr: the edge we receive on.
+    const int vsrc = vr - mask;
+    Message m = recv_coll((vsrc + root) % p, log2i(mask), Coll::bcast);
+    buf = std::move(m.data);
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    const int vdst = vr + mask;
+    if (vdst < p) send_coll((vdst + root) % p, log2i(mask), buf.data(), buf.size());
+    mask >>= 1;
+  }
+}
+
+void Comm::p2p_binomial_reduce(void* inout, std::size_t nbytes, int root, const Combine& op) {
+  const int p = size();
+  if (p == 1) return;
+  std::vector<std::byte> acc(nbytes);
+  if (nbytes > 0) std::memcpy(acc.data(), inout, nbytes);
+  const int vr = (rank_ - root + p) % p;
+  int mask = 1, round = 0;
+  while (mask < p) {
+    if (vr & mask) {
+      send_coll((vr - mask + root) % p, round, acc.data(), nbytes);
+      break;
+    }
+    const int vsrc = vr | mask;
+    if (vsrc < p) {
+      Message m = recv_coll((vsrc + root) % p, round, Coll::reduce);
+      op(acc.data(), m.data.data());
+    }
+    mask <<= 1;
+    ++round;
+  }
+  if (rank_ == root && nbytes > 0) std::memcpy(inout, acc.data(), nbytes);
+}
+
+void Comm::p2p_rd_allreduce(void* inout, std::size_t nbytes, const Combine& op) {
+  const int p = size();
+  if (p == 1) return;
+  const int pof2 = pof2_below(p), rem = p - pof2;
+  // Fold the remainder ranks into their even/odd partner so a power of two
+  // participates in the doubling rounds.
+  int newrank;
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {
+      send_coll(rank_ + 1, round_pre, inout, nbytes);
+      newrank = -1;
+    } else {
+      Message m = recv_coll(rank_ - 1, round_pre, Coll::allreduce);
+      op(inout, m.data.data());
+      newrank = rank_ / 2;
+    }
+  } else {
+    newrank = rank_ - rem;
+  }
+  if (newrank != -1) {
+    int round = 0;
+    for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+      const int npartner = newrank ^ mask;
+      const int partner = npartner < rem ? npartner * 2 + 1 : npartner + rem;
+      send_coll(partner, round, inout, nbytes);
+      Message m = recv_coll(partner, round, Coll::allreduce);
+      op(inout, m.data.data());
+    }
+  }
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 1) {
+      send_coll(rank_ - 1, round_post, inout, nbytes);
+    } else {
+      Message m = recv_coll(rank_ + 1, round_post, Coll::allreduce);
+      if (nbytes > 0) std::memcpy(inout, m.data.data(), nbytes);
+    }
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::p2p_rd_allgather(const void* data, std::size_t nbytes) {
+  const int p = size();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(rank_)].resize(nbytes);
+  if (nbytes > 0) std::memcpy(out[static_cast<std::size_t>(rank_)].data(), data, nbytes);
+  // Each round exchanges every block held so far with the partner across the
+  // current hypercube dimension; blocks travel as (int32 origin, payload).
+  const std::size_t rec = sizeof(std::int32_t) + nbytes;
+  std::vector<int> held{rank_};
+  int round = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++round) {
+    const int partner = rank_ ^ mask;
+    std::vector<std::byte> buf(held.size() * rec);
+    for (std::size_t i = 0; i < held.size(); ++i) {
+      const std::int32_t origin = held[i];
+      std::memcpy(buf.data() + i * rec, &origin, sizeof(origin));
+      if (nbytes > 0) {
+        std::memcpy(buf.data() + i * rec + sizeof(origin),
+                    out[static_cast<std::size_t>(origin)].data(), nbytes);
+      }
+    }
+    send_coll(partner, round, buf.data(), buf.size());
+    Message m = recv_coll(partner, round, Coll::allgather);
+    const std::size_t got = m.data.size() / rec;
+    for (std::size_t i = 0; i < got; ++i) {
+      std::int32_t origin;
+      std::memcpy(&origin, m.data.data() + i * rec, sizeof(origin));
+      auto& blk = out[static_cast<std::size_t>(origin)];
+      blk.resize(nbytes);
+      if (nbytes > 0) std::memcpy(blk.data(), m.data.data() + i * rec + sizeof(origin), nbytes);
+      held.push_back(origin);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::p2p_ring_allgatherv(const void* data, std::size_t nbytes,
+                                                              Coll kind) {
+  const int p = size();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(rank_)].resize(nbytes);
+  if (nbytes > 0) std::memcpy(out[static_cast<std::size_t>(rank_)].data(), data, nbytes);
+  if (p == 1) return out;
+  const int next = (rank_ + 1) % p, prev = (rank_ + p - 1) % p;
+  for (int round = 0; round < p - 1; ++round) {
+    // Forward the block that originated `round` hops behind us; receive the
+    // block originating `round + 1` hops behind.
+    const int fwd = (rank_ + p - round) % p;
+    send_coll(next, round, out[static_cast<std::size_t>(fwd)].data(),
+              out[static_cast<std::size_t>(fwd)].size());
+    const int got = (rank_ + p - 1 - round) % p;
+    Message m = recv_coll(prev, round, kind);
+    out[static_cast<std::size_t>(got)] = std::move(m.data);
+  }
+  return out;
+}
+
+void Comm::p2p_chain_exscan(const void* mine, void* prefix, std::size_t nbytes, const Combine& op) {
+  const int p = size();
+  if (rank_ > 0) {
+    Message m = recv_coll(rank_ - 1, 0, Coll::exscan);
+    if (nbytes > 0) std::memcpy(prefix, m.data.data(), nbytes);
+  }
+  if (rank_ < p - 1) {
+    std::vector<std::byte> next(nbytes);
+    if (nbytes > 0) std::memcpy(next.data(), prefix, nbytes);
+    op(next.data(), mine);
+    send_coll(rank_ + 1, 0, next.data(), next.size());
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::p2p_alltoall(
+    std::vector<std::vector<std::byte>> sendbufs) {
+  const int p = size();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(rank_)] = std::move(sendbufs[static_cast<std::size_t>(rank_)]);
+  // Buffered sends never block, so everyone sends first (staggered start so
+  // rank pairs do not all target the same destination at once), then drains.
+  for (int off = 1; off < p; ++off) {
+    const int dst = (rank_ + off) % p;
+    send_coll(dst, 0, sendbufs[static_cast<std::size_t>(dst)].data(),
+              sendbufs[static_cast<std::size_t>(dst)].size());
+  }
+  for (int off = 1; off < p; ++off) {
+    const int src = (rank_ + p - off) % p;
+    Message m = recv_coll(src, 0, Coll::alltoall);
+    out[static_cast<std::size_t>(src)] = std::move(m.data);
+  }
+  return out;
+}
+
+// --- Dispatchers ------------------------------------------------------------
+
+void Comm::bcast_bytes(std::vector<std::byte>& buf, int root) {
+  if (root < 0 || root >= size()) throw std::runtime_error("par::bcast: bad root rank");
+  perturb();
+  coll_begin(Coll::bcast, rank_ == root ? buf.size() : 0);
+  if (backend() == Backend::reference) {
+    ref_bcast(buf, root);
+  } else {
+    p2p_binomial_bcast(buf, root);
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather_bytes(const void* data, std::size_t nbytes) {
+  perturb();
+  coll_begin(Coll::allgather, nbytes);
+  if (backend() == Backend::reference) return ref_gather(data, nbytes, true);
+  if (is_pof2(size())) return p2p_rd_allgather(data, nbytes);
+  return p2p_ring_allgatherv(data, nbytes, Coll::allgather);
+}
+
+std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(const void* data, std::size_t nbytes) {
+  perturb();
+  coll_begin(Coll::allgatherv, nbytes);
+  if (backend() == Backend::reference) return ref_gather(data, nbytes, true);
+  return p2p_ring_allgatherv(data, nbytes, Coll::allgatherv);
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
+    std::vector<std::vector<std::byte>> sendbufs) {
+  if (static_cast<int>(sendbufs.size()) != size()) {
+    throw std::runtime_error("par::alltoall: sendbufs.size() != nranks");
+  }
+  perturb();
+  std::size_t payload = 0;
+  for (const auto& b : sendbufs) payload += b.size();
+  coll_begin(Coll::alltoall, payload);
+  if (backend() == Backend::reference) return ref_alltoall(std::move(sendbufs));
+  return p2p_alltoall(std::move(sendbufs));
+}
+
+void Comm::allreduce_bytes(void* inout, std::size_t nbytes, const Combine& op) {
+  perturb();
+  coll_begin(Coll::allreduce, nbytes);
+  if (backend() == Backend::reference) {
+    ref_allreduce(inout, nbytes, op);
+  } else {
+    p2p_rd_allreduce(inout, nbytes, op);
+  }
+}
+
+void Comm::reduce_bytes(void* inout, std::size_t nbytes, int root, const Combine& op) {
+  if (root < 0 || root >= size()) throw std::runtime_error("par::reduce: bad root rank");
+  perturb();
+  coll_begin(Coll::reduce, nbytes);
+  if (backend() == Backend::reference) {
+    ref_reduce(inout, nbytes, root, op);
+  } else {
+    p2p_binomial_reduce(inout, nbytes, root, op);
+  }
+}
+
+void Comm::exscan_bytes(const void* mine, void* prefix, std::size_t nbytes, const Combine& op) {
+  perturb();
+  coll_begin(Coll::exscan, nbytes);
+  if (backend() == Backend::reference) {
+    ref_exscan(mine, prefix, nbytes, op);
+  } else {
+    p2p_chain_exscan(mine, prefix, nbytes, op);
+  }
+}
+
+CommStatsSnapshot Comm::stats_snapshot() {
+  const auto raw = ref_gather(&stats(), sizeof(CommStats), false);
+  CommStatsSnapshot snap;
+  snap.per_rank.resize(raw.size());
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    std::memcpy(&snap.per_rank[r], raw[r].data(), sizeof(CommStats));
+    snap.total += snap.per_rank[r];
+  }
+  return snap;
+}
+
+}  // namespace esamr::par

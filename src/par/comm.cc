@@ -1,9 +1,13 @@
 #include "par/comm.h"
 
-#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <ctime>
 #include <exception>
+#include <string_view>
 #include <thread>
+
+#include "par/world.h"
 
 namespace esamr::par {
 
@@ -14,146 +18,177 @@ bool matches(const Message& m, int source, int tag) {
   return (source == any_source || m.source == source) && (tag == any_tag || m.tag == tag);
 }
 
-/// Thrown inside peer ranks when some rank failed; unwinds them without
-/// recording a second error.
-struct WorldPoisoned {};
+std::string envelope_str(int source, int tag) {
+  std::string s = "source=";
+  s += source == any_source ? "any" : std::to_string(source);
+  s += " tag=";
+  s += tag == any_tag ? "any" : std::to_string(tag);
+  return s;
+}
 
 }  // namespace
 
-/// Shared state for one SPMD section: mailboxes, a counting barrier, and
-/// slot arrays backing the collectives. Collectives follow the pattern
-/// "write own slot; barrier; read peers' slots; barrier", where the second
-/// barrier keeps a fast rank from starting the next collective while a slow
-/// one is still reading.
-class World {
- public:
-  explicit World(int n)
-      : size(n), mail(static_cast<std::size_t>(n)), slots(static_cast<std::size_t>(n)),
-        a2a(static_cast<std::size_t>(n)) {
-    for (auto& m : mail) m = std::make_unique<Mailbox>();
-    for (auto& row : a2a) row.resize(static_cast<std::size_t>(n));
+void World::barrier_wait(int rank) {
+  const double timeout = opts.barrier_timeout_s;
+  const double t0 = wall_seconds();
+  std::unique_lock<std::mutex> lock(bar_m);
+  if (poisoned.load()) throw detail::WorldPoisoned{};
+  const long gen = bar_gen;
+  if (++bar_count == size) {
+    bar_count = 0;
+    ++bar_gen;
+    bar_cv.notify_all();
+    return;
   }
-
-  struct Mailbox {
-    std::mutex m;
-    std::condition_variable cv;
-    std::deque<Message> q;
-  };
-
-  void barrier() {
-    std::unique_lock<std::mutex> lock(bar_m);
-    if (poisoned.load()) throw WorldPoisoned{};
-    const long gen = bar_gen;
-    if (++bar_count == size) {
-      bar_count = 0;
-      ++bar_gen;
-      bar_cv.notify_all();
+  while (bar_gen == gen) {
+    if (poisoned.load()) throw detail::WorldPoisoned{};
+    if (timeout > 0.0) {
+      const double left = timeout - (wall_seconds() - t0);
+      if (left <= 0.0) {
+        throw TimeoutError("esamr::par timeout: rank " + std::to_string(rank) + " blocked " +
+                           std::to_string(wall_seconds() - t0) + " s in barrier (" +
+                           std::to_string(bar_count) + " of " + std::to_string(size) +
+                           " ranks arrived)");
+      }
+      bar_cv.wait_for(lock, std::chrono::duration<double>(left));
     } else {
-      bar_cv.wait(lock, [&] { return bar_gen != gen || poisoned.load(); });
-      if (bar_gen == gen && poisoned.load()) throw WorldPoisoned{};
+      bar_cv.wait(lock);
     }
   }
+}
 
-  /// Mark the section failed and wake every blocked rank so it can unwind.
-  void poison() {
-    poisoned.store(true);
-    {
-      std::lock_guard<std::mutex> lock(bar_m);
-      bar_cv.notify_all();
-    }
-    for (auto& box : mail) {
-      std::lock_guard<std::mutex> lock(box->m);
-      box->cv.notify_all();
-    }
-  }
-
-  const int size;
-  std::vector<std::unique_ptr<Mailbox>> mail;
-  std::vector<std::vector<std::byte>> slots;
-  std::vector<std::vector<std::vector<std::byte>>> a2a;  // [src][dst]
-  std::atomic<bool> poisoned{false};
-
- private:
-  std::mutex bar_m;
-  std::condition_variable bar_cv;
-  int bar_count = 0;
-  long bar_gen = 0;
-};
+Comm::Comm(World* world, int rank)
+    : world_(world), rank_(rank),
+      slow_rank_(detail::is_slow_rank(world->opts.inject, rank)),
+      send_seq_(static_cast<std::size_t>(world->size), 0) {}
 
 int Comm::size() const noexcept { return world_->size; }
 
-void Comm::send_bytes(int dest, int tag, const void* data, std::size_t nbytes) {
+Backend Comm::backend() const noexcept { return world_->opts.backend; }
+
+CommStats& Comm::stats() { return world_->stats[static_cast<std::size_t>(rank_)]; }
+
+const CommStats& Comm::stats() const { return world_->stats[static_cast<std::size_t>(rank_)]; }
+
+void Comm::perturb() {
+  if (!slow_rank_) return;
+  const double us = detail::slow_op_sleep_us(world_->opts.inject, rank_, op_seq_++);
+  if (us > 0.0) std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+void Comm::send_impl(bool coll, int dest, int tag, const void* data, std::size_t nbytes) {
   if (dest < 0 || dest >= world_->size) throw std::runtime_error("par::send: bad destination rank");
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
   msg.data.resize(nbytes);
   if (nbytes > 0) std::memcpy(msg.data.data(), data, nbytes);
-  auto& box = *world_->mail[static_cast<std::size_t>(dest)];
+
+  const auto& inj = world_->opts.inject;
+  double vis = 0.0;
+  if (inj.delays_enabled()) {
+    const double us =
+        detail::delay_us(inj, rank_, dest, send_seq_[static_cast<std::size_t>(dest)]++);
+    if (us > 0.0) vis = wall_seconds() + us * 1e-6;
+  }
+
+  auto& box = coll ? *world_->coll_mail[static_cast<std::size_t>(dest)]
+                   : *world_->mail[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.m);
+    if (vis > 0.0) {
+      auto& lastv = box.last_visible[static_cast<std::size_t>(rank_)];
+      if (vis < lastv) vis = lastv;  // keep per-pair delivery order
+      lastv = vis;
+      msg.visible_at = vis;
+    }
     box.q.push_back(std::move(msg));
   }
   box.cv.notify_all();
 }
 
-Message Comm::recv(int source, int tag) {
-  auto& box = *world_->mail[static_cast<std::size_t>(rank_)];
+Message Comm::recv_impl(bool coll, int source, int tag, const char* what) {
+  auto& box = coll ? *world_->coll_mail[static_cast<std::size_t>(rank_)]
+                   : *world_->mail[static_cast<std::size_t>(rank_)];
+  const double timeout = world_->opts.recv_timeout_s;
+  const double t0 = wall_seconds();
   std::unique_lock<std::mutex> lock(box.m);
   for (;;) {
-    if (world_->poisoned.load()) throw WorldPoisoned{};
+    if (world_->poisoned.load()) throw detail::WorldPoisoned{};
+    const double now = wall_seconds();
+    double next_vis = 0.0;  // earliest visibility among matching delayed msgs
     for (auto it = box.q.begin(); it != box.q.end(); ++it) {
-      if (matches(*it, source, tag)) {
+      if (!matches(*it, source, tag)) continue;
+      if (it->visible_at <= now) {
         Message out = std::move(*it);
         box.q.erase(it);
         return out;
       }
+      if (next_vis == 0.0 || it->visible_at < next_vis) next_vis = it->visible_at;
     }
-    box.cv.wait(lock);
+    double wait_s = -1.0;  // < 0: wait indefinitely
+    if (timeout > 0.0) {
+      const double left = timeout - (now - t0);
+      if (left <= 0.0) {
+        throw TimeoutError("esamr::par timeout: rank " + std::to_string(rank_) + " blocked " +
+                           std::to_string(now - t0) + " s in " + what + "(" +
+                           envelope_str(source, tag) + "); " + std::to_string(box.q.size()) +
+                           " queued message(s), none match");
+      }
+      wait_s = left;
+    }
+    if (next_vis > 0.0) {
+      const double until_vis = next_vis - now;
+      if (wait_s < 0.0 || until_vis < wait_s) wait_s = until_vis;
+    }
+    if (wait_s < 0.0) {
+      box.cv.wait(lock);
+    } else if (wait_s > 0.0) {
+      box.cv.wait_for(lock, std::chrono::duration<double>(wait_s));
+    }
   }
+}
+
+void Comm::send_bytes(int dest, int tag, const void* data, std::size_t nbytes) {
+  perturb();
+  send_impl(false, dest, tag, data, nbytes);
+  auto& st = stats();
+  ++st.p2p_sends;
+  st.p2p_send_bytes += static_cast<std::int64_t>(nbytes);
+}
+
+Message Comm::recv(int source, int tag) {
+  perturb();
+  const double t0 = wall_seconds();
+  Message out = recv_impl(false, source, tag, "recv");
+  auto& st = stats();
+  st.recv_blocked_s += wall_seconds() - t0;
+  ++st.p2p_recvs;
+  st.p2p_recv_bytes += static_cast<std::int64_t>(out.data.size());
+  return out;
 }
 
 bool Comm::iprobe(int source, int tag) {
   auto& box = *world_->mail[static_cast<std::size_t>(rank_)];
+  const double now = wall_seconds();
   std::lock_guard<std::mutex> lock(box.m);
   for (const auto& m : box.q) {
-    if (matches(m, source, tag)) return true;
+    if (matches(m, source, tag) && m.visible_at <= now) return true;
   }
   return false;
 }
 
-void Comm::barrier() { world_->barrier(); }
-
-std::vector<std::vector<std::byte>> Comm::allgather_bytes(const void* data, std::size_t nbytes) {
-  auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
-  slot.resize(nbytes);
-  if (nbytes > 0) std::memcpy(slot.data(), data, nbytes);
-  world_->barrier();
-  std::vector<std::vector<std::byte>> out(world_->slots.begin(), world_->slots.end());
-  world_->barrier();
-  return out;
+void Comm::barrier() {
+  perturb();
+  coll_begin(Coll::barrier, 0);
+  const double t0 = wall_seconds();
+  world_->barrier_wait(rank_);
+  stats().barrier_blocked_s += wall_seconds() - t0;
 }
 
-std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
-    std::vector<std::vector<std::byte>> sendbufs) {
-  if (static_cast<int>(sendbufs.size()) != world_->size) {
-    throw std::runtime_error("par::alltoall: sendbufs.size() != nranks");
-  }
-  world_->a2a[static_cast<std::size_t>(rank_)] = std::move(sendbufs);
-  world_->barrier();
-  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(world_->size));
-  for (int s = 0; s < world_->size; ++s) {
-    // a2a[s][rank_] is read by exactly one rank (this one), so moving is safe.
-    out[static_cast<std::size_t>(s)] =
-        std::move(world_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)]);
-  }
-  world_->barrier();
-  return out;
-}
-
-void run(int nranks, const std::function<void(Comm&)>& fn) {
+void run(int nranks, const RunOptions& opts, const std::function<void(Comm&)>& fn) {
   if (nranks < 1) throw std::runtime_error("par::run: nranks must be >= 1");
-  World world(nranks);
+  World world(nranks, opts);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -162,7 +197,7 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
       Comm comm(&world, r);
       try {
         fn(comm);
-      } catch (const WorldPoisoned&) {
+      } catch (const detail::WorldPoisoned&) {
         // Another rank failed first; unwind quietly.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
@@ -174,6 +209,21 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  RunOptions opts;
+  if (const char* env = std::getenv("ESAMR_COMM_BACKEND")) {
+    const std::string_view v(env);
+    if (v == "reference") {
+      opts.backend = Backend::reference;
+    } else if (v == "p2p") {
+      opts.backend = Backend::p2p;
+    } else if (!v.empty()) {
+      throw std::runtime_error("par::run: bad ESAMR_COMM_BACKEND (want reference|p2p)");
+    }
+  }
+  run(nranks, opts, fn);
 }
 
 double thread_cpu_seconds() {

@@ -1,27 +1,44 @@
-// esamr::par — in-process SPMD message-passing runtime.
+// esamr::par — in-process SPMD message-passing runtime ("Comm v2").
 //
 // This is the MPI substitute for the reproduction (see DESIGN.md): P "ranks"
 // run as threads inside one process and communicate exclusively through the
 // Comm interface below — buffered tagged point-to-point messages plus the
 // small set of collectives the forest algorithms need (barrier, bcast,
-// allgather(v), allreduce, exclusive scan, alltoallv). Algorithms written
-// against Comm are structured exactly as they would be against MPI: all
-// octant/element storage is rank-local and every exchange is explicit.
+// reduce, allgather(v), allreduce, exclusive scan, alltoallv). Algorithms
+// written against Comm are structured exactly as they would be against MPI:
+// all octant/element storage is rank-local and every exchange is explicit.
+//
+// Collectives come in two selectable backends (RunOptions::backend):
+//   - Backend::p2p (default): real point-to-point algorithms layered on the
+//     send/recv primitives — binomial-tree bcast/reduce, recursive-doubling
+//     allreduce/allgather (ring fallback for non-power-of-two sizes), ring
+//     allgatherv, pairwise alltoallv, chain exscan. This is the backend whose
+//     message counts and byte volumes mirror what the paper's cost model
+//     analyzes.
+//   - Backend::reference: the original shared-slot implementations (write own
+//     slot; barrier; read peers' slots; barrier), kept as a differential
+//     -testing oracle (tests/test_collectives.cc).
+// The environment variable ESAMR_COMM_BACKEND=reference|p2p overrides the
+// default for par::run calls that do not pass explicit RunOptions.
+//
+// Every rank carries a CommStats (par/stats.h) with message/byte counters and
+// blocked-time accounting, and RunOptions can enable deterministic fault
+// injection (par/inject.h) plus recv/barrier timeouts that turn silent
+// deadlocks into a TimeoutError naming the blocked rank and envelope.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <deque>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "par/inject.h"
+#include "par/stats.h"
 
 namespace esamr::par {
 
@@ -30,14 +47,40 @@ inline constexpr int any_source = -1;
 /// Wildcard for Comm::recv / Comm::iprobe tag matching.
 inline constexpr int any_tag = -1;
 
-/// Reduction operators for Comm::allreduce.
+/// Reduction operators for Comm::allreduce / Comm::reduce.
 enum class ReduceOp { sum, min, max, logical_or, logical_and };
+
+/// Collective implementation backend (see file header).
+enum class Backend { reference, p2p };
+
+/// Options for one SPMD section.
+struct RunOptions {
+  Backend backend = Backend::p2p;
+  InjectConfig inject{};
+  /// recv (point-to-point and inside collectives) fails with TimeoutError
+  /// after this many seconds without a matching visible message; 0 = wait
+  /// forever.
+  double recv_timeout_s = 0.0;
+  /// barrier fails with TimeoutError after this many seconds; 0 = forever.
+  double barrier_timeout_s = 0.0;
+};
+
+/// Thrown by recv/barrier when a configured timeout expires. The message
+/// names the blocked rank and the envelope (source, tag, collective) it was
+/// waiting on — a deadlock diagnostic instead of a silent hang.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A received point-to-point message: envelope plus raw payload bytes.
 struct Message {
   int source = any_source;
   int tag = any_tag;
   std::vector<std::byte> data;
+  /// Internal: earliest wall time (par::wall_seconds) at which the message
+  /// is visible to recv/iprobe under fault injection. 0 = immediately.
+  double visible_at = 0.0;
 
   /// Reinterpret the payload as an array of trivially copyable T.
   template <typename T>
@@ -68,10 +111,11 @@ class World;
 /// ever invoked by the owning rank's thread (SPMD style).
 class Comm {
  public:
-  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  Comm(World* world, int rank);
 
   int rank() const noexcept { return rank_; }
   int size() const noexcept;
+  Backend backend() const noexcept;
 
   // --- Point-to-point -----------------------------------------------------
   // Sends are buffered and never block; receives block until a matching
@@ -97,19 +141,43 @@ class Comm {
   /// Blocking receive of the first message matching (source, tag).
   Message recv(int source = any_source, int tag = any_tag);
 
-  /// Non-blocking test for a matching message.
+  /// Non-blocking test for a matching (visible) message.
   bool iprobe(int source = any_source, int tag = any_tag);
 
   // --- Collectives ---------------------------------------------------------
-  // All ranks must call each collective in the same order.
+  // All ranks must call each collective in the same order. Byte-level entry
+  // points dispatch on the backend; the typed templates below wrap them.
 
   void barrier();
 
+  /// In-place broadcast: on the root `buf` is the payload; on every other
+  /// rank `buf` is replaced by the root's payload (resized as needed).
+  void bcast_bytes(std::vector<std::byte>& buf, int root);
+
   /// Gather `nbytes` bytes from every rank; result[r] is rank r's payload.
+  /// All ranks must pass the same nbytes (use allgatherv_bytes otherwise).
   std::vector<std::vector<std::byte>> allgather_bytes(const void* data, std::size_t nbytes);
+
+  /// Variable-length gather; result[r] is rank r's payload.
+  std::vector<std::vector<std::byte>> allgatherv_bytes(const void* data, std::size_t nbytes);
 
   /// Personalized all-to-all; sendbufs[d] goes to rank d, result[s] came from s.
   std::vector<std::vector<std::byte>> alltoall_bytes(std::vector<std::vector<std::byte>> sendbufs);
+
+  /// In-place combiner for the byte-level reductions: op(acc, in) folds `in`
+  /// into `acc`; both point at `nbytes` bytes. Must be commutative (all
+  /// ReduceOp combiners are).
+  using Combine = std::function<void(void* acc, const void* in)>;
+
+  /// All ranks end with the reduction over every rank's `inout` contribution.
+  void allreduce_bytes(void* inout, std::size_t nbytes, const Combine& op);
+
+  /// The root ends with the reduction; other ranks' `inout` is unchanged.
+  void reduce_bytes(void* inout, std::size_t nbytes, int root, const Combine& op);
+
+  /// Exclusive scan: `prefix` must arrive holding the identity value and ends
+  /// holding the fold of ranks [0, rank) contributions (`mine`).
+  void exscan_bytes(const void* mine, void* prefix, std::size_t nbytes, const Combine& op);
 
   /// Gather one fixed-size value per rank.
   template <typename T>
@@ -125,7 +193,7 @@ class Comm {
   template <typename T>
   std::vector<std::vector<T>> allgatherv(std::span<const T> v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto raw = allgather_bytes(v.data(), v.size_bytes());
+    auto raw = allgatherv_bytes(v.data(), v.size_bytes());
     std::vector<std::vector<T>> out(raw.size());
     for (std::size_t r = 0; r < raw.size(); ++r) {
       out[r].resize(raw[r].size() / sizeof(T));
@@ -140,37 +208,49 @@ class Comm {
 
   template <typename T>
   T allreduce(T v, ReduceOp op) {
-    auto all = allgather(v);
-    T acc = all[0];
-    for (std::size_t r = 1; r < all.size(); ++r) {
-      switch (op) {
-        case ReduceOp::sum: acc = static_cast<T>(acc + all[r]); break;
-        case ReduceOp::min: acc = all[r] < acc ? all[r] : acc; break;
-        case ReduceOp::max: acc = acc < all[r] ? all[r] : acc; break;
-        case ReduceOp::logical_or: acc = static_cast<T>(acc || all[r]); break;
-        case ReduceOp::logical_and: acc = static_cast<T>(acc && all[r]); break;
-      }
-    }
-    return acc;
+    static_assert(std::is_trivially_copyable_v<T>);
+    allreduce_bytes(&v, sizeof(T), combine_fn<T>(op));
+    return v;
+  }
+
+  /// Reduction to one root (binomial tree on the p2p backend). Returns the
+  /// reduced value on the root and the rank's own `v` elsewhere.
+  template <typename T>
+  T reduce(T v, ReduceOp op, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    reduce_bytes(&v, sizeof(T), root, combine_fn<T>(op));
+    return v;
   }
 
   /// Exclusive prefix sum; rank 0 receives T{} (zero).
   template <typename T>
   T exscan_sum(T v) {
-    auto all = allgather(v);
-    T acc{};
-    for (int r = 0; r < rank_; ++r) acc = static_cast<T>(acc + all[r]);
-    return acc;
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out{};
+    exscan_bytes(&v, &out, sizeof(T), combine_fn<T>(ReduceOp::sum));
+    return out;
   }
 
   template <typename T>
   T bcast(const T& v, int root) {
-    return allgather(v)[root];
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf(sizeof(T));
+    std::memcpy(buf.data(), &v, sizeof(T));
+    bcast_bytes(buf, root);
+    T out;
+    std::memcpy(&out, buf.data(), sizeof(T));
+    return out;
   }
 
   template <typename T>
   std::vector<T> bcast_vector(const std::vector<T>& v, int root) {
-    return allgatherv(std::span<const T>(v))[root];
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf(v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(buf.data(), v.data(), buf.size());
+    bcast_bytes(buf, root);
+    std::vector<T> out(buf.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), buf.data(), buf.size());
+    return out;
   }
 
   /// Typed personalized all-to-all: send[d] goes to rank d; result[s] from rank s.
@@ -191,16 +271,84 @@ class Comm {
     return out;
   }
 
+  // --- Observability --------------------------------------------------------
+
+  /// This rank's counters (mutable: callers may reset() between phases).
+  CommStats& stats();
+  const CommStats& stats() const;
+
+  /// Collective: gather every rank's counters. The snapshot exchange itself
+  /// is not counted. All ranks must call it together.
+  CommStatsSnapshot stats_snapshot();
+
  private:
+  template <typename T>
+  static Combine combine_fn(ReduceOp op) {
+    return [op](void* acc_p, const void* in_p) {
+      T acc, in;
+      std::memcpy(&acc, acc_p, sizeof(T));
+      std::memcpy(&in, in_p, sizeof(T));
+      switch (op) {
+        case ReduceOp::sum: acc = static_cast<T>(acc + in); break;
+        case ReduceOp::min: acc = in < acc ? in : acc; break;
+        case ReduceOp::max: acc = acc < in ? in : acc; break;
+        case ReduceOp::logical_or: acc = static_cast<T>(acc || in); break;
+        case ReduceOp::logical_and: acc = static_cast<T>(acc && in); break;
+      }
+      std::memcpy(acc_p, &acc, sizeof(T));
+    };
+  }
+
+  // Implemented in comm.cc.
+  void send_impl(bool coll, int dest, int tag, const void* data, std::size_t nbytes);
+  Message recv_impl(bool coll, int source, int tag, const char* what);
+  void perturb();
+
+  // Collective plumbing and algorithms, implemented in collectives.cc.
+  void coll_begin(Coll kind, std::size_t payload_bytes);
+  int coll_tag(int round) const;
+  void send_coll(int dest, int round, const void* data, std::size_t nbytes);
+  Message recv_coll(int source, int round, Coll kind);
+
+  std::vector<std::vector<std::byte>> ref_gather(const void* data, std::size_t nbytes, bool count);
+  std::vector<std::vector<std::byte>> p2p_rd_allgather(const void* data, std::size_t nbytes);
+  std::vector<std::vector<std::byte>> p2p_ring_allgatherv(const void* data, std::size_t nbytes,
+                                                          Coll kind);
+  void ref_bcast(std::vector<std::byte>& buf, int root);
+  void p2p_binomial_bcast(std::vector<std::byte>& buf, int root);
+  void ref_reduce(void* inout, std::size_t nbytes, int root, const Combine& op);
+  void p2p_binomial_reduce(void* inout, std::size_t nbytes, int root, const Combine& op);
+  void ref_allreduce(void* inout, std::size_t nbytes, const Combine& op);
+  void p2p_rd_allreduce(void* inout, std::size_t nbytes, const Combine& op);
+  void ref_exscan(const void* mine, void* prefix, std::size_t nbytes, const Combine& op);
+  void p2p_chain_exscan(const void* mine, void* prefix, std::size_t nbytes, const Combine& op);
+  std::vector<std::vector<std::byte>> ref_alltoall(std::vector<std::vector<std::byte>> sendbufs);
+  std::vector<std::vector<std::byte>> p2p_alltoall(std::vector<std::vector<std::byte>> sendbufs);
+
   World* world_;
   int rank_;
+  bool slow_rank_ = false;      ///< seeded per-rank slowdown selection
+  int coll_tag_base_ = 0;       ///< tag base of the collective in progress
+  std::uint64_t coll_seq_ = 0;  ///< collectives issued (lockstep across ranks)
+  std::uint64_t op_seq_ = 0;    ///< perturbation stream position
+  std::vector<std::uint64_t> send_seq_;  ///< per-destination send counters
 };
 
 /// Launch an SPMD section: `fn(comm)` runs once per rank on its own thread.
 /// Exceptions thrown by any rank are re-thrown (first one) after all join.
+void run(int nranks, const RunOptions& opts, const std::function<void(Comm&)>& fn);
+
+/// As above with default options (ESAMR_COMM_BACKEND may override backend).
 void run(int nranks, const std::function<void(Comm&)>& fn);
 
 /// SPMD section that collects a per-rank result; result[r] is rank r's return.
+template <typename R>
+std::vector<R> run_collect(int nranks, const RunOptions& opts, const std::function<R(Comm&)>& fn) {
+  std::vector<R> out(static_cast<std::size_t>(nranks));
+  run(nranks, opts, [&](Comm& c) { out[static_cast<std::size_t>(c.rank())] = fn(c); });
+  return out;
+}
+
 template <typename R>
 std::vector<R> run_collect(int nranks, const std::function<R(Comm&)>& fn) {
   std::vector<R> out(static_cast<std::size_t>(nranks));

@@ -1,0 +1,37 @@
+#include "par/inject.h"
+
+namespace esamr::par::detail {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_hash(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t h = mix64(mix64(seed ^ mix64(a)) ^ b);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // top 53 bits -> [0, 1)
+}
+
+bool is_slow_rank(const InjectConfig& cfg, int rank) {
+  if (!cfg.slowdown_enabled()) return false;
+  return mix64(cfg.seed ^ 0x51000000ULL ^ static_cast<std::uint64_t>(rank)) %
+             static_cast<std::uint64_t>(cfg.slow_rank_stride) ==
+         0;
+}
+
+double delay_us(const InjectConfig& cfg, int src, int dst, std::uint64_t seq) {
+  if (!cfg.delays_enabled()) return 0.0;
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+  return unit_hash(cfg.seed, pair, seq) * cfg.max_delay_us;
+}
+
+double slow_op_sleep_us(const InjectConfig& cfg, int rank, std::uint64_t op_seq) {
+  // Jitter around the configured mean: [0.5, 1.5) * slow_op_us.
+  return (0.5 + unit_hash(cfg.seed ^ 0xf10ULL, static_cast<std::uint64_t>(rank), op_seq)) *
+         cfg.slow_op_us;
+}
+
+}  // namespace esamr::par::detail

@@ -1,0 +1,51 @@
+// Deterministic fault/perturbation injection for the SPMD runtime.
+//
+// All perturbation is derived by hashing (seed, stream coordinates): the same
+// seed always produces the same delivery delays and the same set of slowed
+// ranks, independent of thread scheduling. Injection perturbs *timing* only —
+// per-(source, destination) message order is preserved (delivery times are
+// clamped monotone per pair), so tag-matching semantics are unchanged and a
+// correct deterministic algorithm must produce bit-identical results under
+// every seed. That invariant is what tests/test_perturb.cc asserts.
+#pragma once
+
+#include <cstdint>
+
+namespace esamr::par {
+
+struct InjectConfig {
+  /// Master seed; 0 disables all perturbation.
+  std::uint64_t seed = 0;
+  /// Per-message delivery delay, uniform in [0, max_delay_us) microseconds.
+  double max_delay_us = 0.0;
+  /// Every stride-th rank (selected by seeded hash) runs slowed; 0 = none.
+  int slow_rank_stride = 0;
+  /// Mean extra latency per comm operation on a slowed rank, microseconds.
+  double slow_op_us = 0.0;
+
+  bool delays_enabled() const { return seed != 0 && max_delay_us > 0.0; }
+  bool slowdown_enabled() const {
+    return seed != 0 && slow_rank_stride > 0 && slow_op_us > 0.0;
+  }
+};
+
+namespace detail {
+
+/// splitmix64 finalizer: a fast, well-mixed 64-bit hash.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Uniform [0, 1) from a seed and two stream coordinates.
+double unit_hash(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+/// True if `rank` is one of the seeded slow ranks.
+bool is_slow_rank(const InjectConfig& cfg, int rank);
+
+/// Delivery delay in microseconds for the seq-th message from src to dst.
+double delay_us(const InjectConfig& cfg, int src, int dst, std::uint64_t seq);
+
+/// Extra per-operation sleep in microseconds for a slow rank's op_seq-th op.
+double slow_op_sleep_us(const InjectConfig& cfg, int rank, std::uint64_t op_seq);
+
+}  // namespace detail
+
+}  // namespace esamr::par

@@ -1,0 +1,80 @@
+#include "par/stats.h"
+
+#include <cstdio>
+
+namespace esamr::par {
+
+const char* coll_name(Coll k) {
+  switch (k) {
+    case Coll::barrier: return "barrier";
+    case Coll::bcast: return "bcast";
+    case Coll::reduce: return "reduce";
+    case Coll::allreduce: return "allreduce";
+    case Coll::allgather: return "allgather";
+    case Coll::allgatherv: return "allgatherv";
+    case Coll::exscan: return "exscan";
+    case Coll::alltoall: return "alltoall";
+    case Coll::n_kinds: break;
+  }
+  return "?";
+}
+
+CommStats& CommStats::operator+=(const CommStats& o) {
+  p2p_sends += o.p2p_sends;
+  p2p_send_bytes += o.p2p_send_bytes;
+  p2p_recvs += o.p2p_recvs;
+  p2p_recv_bytes += o.p2p_recv_bytes;
+  coll_msgs += o.coll_msgs;
+  coll_bytes += o.coll_bytes;
+  for (int k = 0; k < n_coll_kinds; ++k) {
+    coll_calls[static_cast<std::size_t>(k)] += o.coll_calls[static_cast<std::size_t>(k)];
+    coll_payload_bytes[static_cast<std::size_t>(k)] +=
+        o.coll_payload_bytes[static_cast<std::size_t>(k)];
+  }
+  recv_blocked_s += o.recv_blocked_s;
+  barrier_blocked_s += o.barrier_blocked_s;
+  return *this;
+}
+
+CommStats& CommStats::operator-=(const CommStats& o) {
+  p2p_sends -= o.p2p_sends;
+  p2p_send_bytes -= o.p2p_send_bytes;
+  p2p_recvs -= o.p2p_recvs;
+  p2p_recv_bytes -= o.p2p_recv_bytes;
+  coll_msgs -= o.coll_msgs;
+  coll_bytes -= o.coll_bytes;
+  for (int k = 0; k < n_coll_kinds; ++k) {
+    coll_calls[static_cast<std::size_t>(k)] -= o.coll_calls[static_cast<std::size_t>(k)];
+    coll_payload_bytes[static_cast<std::size_t>(k)] -=
+        o.coll_payload_bytes[static_cast<std::size_t>(k)];
+  }
+  recv_blocked_s -= o.recv_blocked_s;
+  barrier_blocked_s -= o.barrier_blocked_s;
+  return *this;
+}
+
+std::string summary(const CommStats& s) {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line), "p2p: %lld msgs / %lld B sent, %lld msgs / %lld B recvd\n",
+                static_cast<long long>(s.p2p_sends), static_cast<long long>(s.p2p_send_bytes),
+                static_cast<long long>(s.p2p_recvs), static_cast<long long>(s.p2p_recv_bytes));
+  out += line;
+  std::snprintf(line, sizeof(line), "coll wire: %lld msgs / %lld B\n",
+                static_cast<long long>(s.coll_msgs), static_cast<long long>(s.coll_bytes));
+  out += line;
+  for (int k = 0; k < n_coll_kinds; ++k) {
+    if (s.coll_calls[static_cast<std::size_t>(k)] == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-10s %8lld calls  %12lld payload B\n",
+                  coll_name(static_cast<Coll>(k)),
+                  static_cast<long long>(s.coll_calls[static_cast<std::size_t>(k)]),
+                  static_cast<long long>(s.coll_payload_bytes[static_cast<std::size_t>(k)]));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "blocked: %.3f s in recv, %.3f s in barrier\n",
+                s.recv_blocked_s, s.barrier_blocked_s);
+  out += line;
+  return out;
+}
+
+}  // namespace esamr::par

@@ -1,0 +1,76 @@
+// CommStats — per-rank communication observability for the SPMD runtime.
+//
+// Every Comm carries a CommStats: point-to-point message/byte counters,
+// per-collective invocation counts and payloads, the wire traffic generated
+// *inside* the collective algorithms, and the wall time a rank spent blocked
+// in recv/barrier. The byte accounting rule (see DESIGN.md):
+//   - p2p backend: each internal message is counted once, at the sender.
+//   - reference backend: bytes written into and read out of the shared slot
+//     arrays are both counted (that is the data the backend actually moves).
+// Under that rule the tree/recursive-doubling algorithms report strictly
+// lower volume than the reference backend for non-trivial payloads, which is
+// what bench_comm and the collectives test assert at P = 16.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esamr::par {
+
+/// Collective kinds tracked by CommStats.
+enum class Coll : int {
+  barrier = 0,
+  bcast,
+  reduce,
+  allreduce,
+  allgather,
+  allgatherv,
+  exscan,
+  alltoall,
+  n_kinds
+};
+inline constexpr int n_coll_kinds = static_cast<int>(Coll::n_kinds);
+
+const char* coll_name(Coll k);
+
+/// Per-rank counters. Trivially copyable so snapshots can gather it raw.
+struct CommStats {
+  // User point-to-point traffic (Comm::send* / Comm::recv).
+  std::int64_t p2p_sends = 0;
+  std::int64_t p2p_send_bytes = 0;
+  std::int64_t p2p_recvs = 0;
+  std::int64_t p2p_recv_bytes = 0;
+
+  // Traffic generated inside collective algorithms (see accounting rule).
+  std::int64_t coll_msgs = 0;
+  std::int64_t coll_bytes = 0;
+
+  // Per-collective invocation counts and payload bytes contributed by this
+  // rank (the payload the caller handed in, not the wire traffic).
+  std::array<std::int64_t, n_coll_kinds> coll_calls{};
+  std::array<std::int64_t, n_coll_kinds> coll_payload_bytes{};
+
+  // Wall time this rank spent blocked (includes blocking inside collectives).
+  double recv_blocked_s = 0.0;
+  double barrier_blocked_s = 0.0;
+
+  std::int64_t total_msgs() const { return p2p_sends + coll_msgs; }
+  std::int64_t total_bytes() const { return p2p_send_bytes + coll_bytes; }
+
+  CommStats& operator+=(const CommStats& o);
+  CommStats& operator-=(const CommStats& o);
+  void reset() { *this = CommStats{}; }
+};
+
+/// Aggregated view gathered from every rank (Comm::stats_snapshot).
+struct CommStatsSnapshot {
+  CommStats total;                  ///< element-wise sum over ranks
+  std::vector<CommStats> per_rank;  ///< per_rank[r] is rank r's counters
+};
+
+/// Multi-line human-readable summary (used by the bench drivers).
+std::string summary(const CommStats& s);
+
+}  // namespace esamr::par

@@ -1,0 +1,81 @@
+// Internal shared state for one SPMD section (not part of the public API):
+// per-rank mailboxes for user and collective-internal traffic, the counting
+// barrier, and the shared slot arrays backing the reference collectives.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "par/comm.h"
+
+namespace esamr::par {
+
+namespace detail {
+/// Thrown inside peer ranks when some rank failed; unwinds them without
+/// recording a second error.
+struct WorldPoisoned {};
+}  // namespace detail
+
+class World {
+ public:
+  World(int n, RunOptions options)
+      : size(n), opts(std::move(options)), mail(static_cast<std::size_t>(n)),
+        coll_mail(static_cast<std::size_t>(n)), slots(static_cast<std::size_t>(n)),
+        a2a(static_cast<std::size_t>(n)), stats(static_cast<std::size_t>(n)) {
+    for (auto& m : mail) m = std::make_unique<Mailbox>(n);
+    for (auto& m : coll_mail) m = std::make_unique<Mailbox>(n);
+    for (auto& row : a2a) row.resize(static_cast<std::size_t>(n));
+  }
+
+  struct Mailbox {
+    explicit Mailbox(int nranks) : last_visible(static_cast<std::size_t>(nranks), 0.0) {}
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> q;
+    /// Per-source latest injected visibility time; delivery times are clamped
+    /// monotone per (source, this) pair so delays never reorder a pair's
+    /// messages (tag-matching semantics are preserved under injection).
+    std::vector<double> last_visible;
+  };
+
+  /// The barrier primitive shared by Comm::barrier and the reference
+  /// collectives. Throws TimeoutError (naming `rank` and the arrival count)
+  /// when opts.barrier_timeout_s expires.
+  void barrier_wait(int rank);
+
+  /// Mark the section failed and wake every blocked rank so it can unwind.
+  void poison() {
+    poisoned.store(true);
+    {
+      std::lock_guard<std::mutex> lock(bar_m);
+      bar_cv.notify_all();
+    }
+    for (auto& boxes : {std::ref(mail), std::ref(coll_mail)}) {
+      for (auto& box : boxes.get()) {
+        std::lock_guard<std::mutex> lock(box->m);
+        box->cv.notify_all();
+      }
+    }
+  }
+
+  const int size;
+  const RunOptions opts;
+  std::vector<std::unique_ptr<Mailbox>> mail;       ///< user point-to-point
+  std::vector<std::unique_ptr<Mailbox>> coll_mail;  ///< collective-internal
+  std::vector<std::vector<std::byte>> slots;        ///< reference allgather(v)
+  std::vector<std::vector<std::vector<std::byte>>> a2a;  ///< [src][dst]
+  std::vector<std::byte> bvec;                           ///< reference bcast
+  std::vector<CommStats> stats;                          ///< per rank
+  std::atomic<bool> poisoned{false};
+
+ private:
+  std::mutex bar_m;
+  std::condition_variable bar_cv;
+  int bar_count = 0;
+  long bar_gen = 0;
+};
+
+}  // namespace esamr::par
