@@ -266,10 +266,44 @@ void MantleSimulation::dynamic_adapt() {
 }
 
 void MantleSimulation::run() {
-  static_adapt();
-  for (int k = 0; k < opt_.picard_iterations; ++k) {
+  std::unique_ptr<resil::CheckpointRing> ring;
+  std::uint64_t conn_id = 0;
+  int k0 = 0;
+  bool restored = false;
+  if (opt_.checkpoint_every > 0) {
+    conn_id = resil::connectivity_id(conn_);
+    ring = std::make_unique<resil::CheckpointRing>(opt_.checkpoint_dir, opt_.checkpoint_keep);
+    int have = 0;
+    if (comm_->rank() == 0) have = ring->entries().empty() ? 0 : 1;
+    have = comm_->bcast(have, 0);
+    if (have != 0) {
+      auto r = resil::restore_latest<2>(*comm_, conn_, conn_id, *ring);
+      forest_ = std::make_unique<forest::Forest<2>>(std::move(r.forest));
+      // Both the lagged velocity and the stale strain rate must come back:
+      // dynamic_adapt at iteration k+1 consumes the elem_eps_ computed at the
+      // start of iteration k, not one derived from the updated corner_vel_.
+      for (auto& f : r.fields) {
+        if (f.name == "corner_vel") corner_vel_ = std::move(f.data);
+        if (f.name == "strain_rate") elem_eps_ = std::move(f.data);
+      }
+      rebuild_space();
+      k0 = static_cast<int>(r.step) + 1;
+      restored = true;
+      if (recovery_ != nullptr && comm_->rank() == 0) recovery_->record_restore(r.bytes_read);
+    }
+  }
+  if (!restored) static_adapt();
+  for (int k = k0; k < opt_.picard_iterations; ++k) {
     if (k > 0 && opt_.adapt_every > 0 && k % opt_.adapt_every == 0) dynamic_adapt();
     picard_iteration(k);
+    if (recovery_ != nullptr && comm_->rank() == 0) recovery_->note_step();
+    if (ring && (k + 1) % opt_.checkpoint_every == 0) {
+      std::vector<resil::NamedField> fields(2);
+      fields[0] = {"corner_vel", 8, corner_vel_};
+      fields[1] = {"strain_rate", 1, elem_eps_};
+      resil::write_checkpoint_ring(*forest_, conn_id, static_cast<std::uint64_t>(k), fields,
+                                   *ring);
+    }
   }
 }
 

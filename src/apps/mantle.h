@@ -20,8 +20,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "geo/rheology.h"
+#include "resil/checkpoint.h"
+#include "resil/supervisor.h"
 #include "sfem/cg_fem.h"
 
 namespace esamr::apps {
@@ -41,6 +44,15 @@ struct MantleOptions {
   geo::TemperatureModel temperature;
   int minres_max_iter = 4000;
   double minres_rtol = 1.0e-6;
+
+  /// Write a ring snapshot after every k-th completed Picard iteration;
+  /// 0 disables checkpointing. When the ring directory already holds a valid
+  /// snapshot, run() resumes from it instead of starting over — together
+  /// with resil::supervise this makes the driver survive injected rank
+  /// failures with bit-identical final fields (tests/test_resil.cc).
+  int checkpoint_every = 0;
+  std::string checkpoint_dir;
+  int checkpoint_keep = 3;
 };
 
 class MantleSimulation {
@@ -64,6 +76,12 @@ class MantleSimulation {
   const std::vector<double>& element_viscosity() const { return elem_eta_; }
   const std::vector<double>& element_strain_rate() const { return elem_eps_; }
   const std::vector<double>& element_temperature() const { return elem_temp_; }
+  /// The lagged per-element corner velocities ([elem][comp][corner]).
+  const std::vector<double>& corner_velocities() const { return corner_vel_; }
+
+  /// Attach the supervisor's reporting channel (resil::supervise): restores
+  /// and completed iterations are then accounted in its RecoveryStats.
+  void set_recovery_context(resil::RecoveryContext* ctx) { recovery_ = ctx; }
 
  private:
   void static_adapt();
@@ -91,6 +109,7 @@ class MantleSimulation {
   double t_amr_ = 0.0, t_solve_ = 0.0, t_vcycle_ = 0.0;
   int minres_iterations_ = 0;
   double max_velocity_ = 0.0;
+  resil::RecoveryContext* recovery_ = nullptr;
 };
 
 }  // namespace esamr::apps

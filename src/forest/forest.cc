@@ -60,6 +60,21 @@ Forest<Dim> Forest<Dim>::new_uniform(par::Comm& comm, const Conn* conn, int leve
 }
 
 template <int Dim>
+Forest<Dim> Forest<Dim>::from_local_leaves(par::Comm& comm, const Conn* conn,
+                                           std::vector<std::vector<Oct>> trees) {
+  if (static_cast<int>(trees.size()) != conn->num_trees()) {
+    throw std::runtime_error("from_local_leaves: tree count does not match connectivity");
+  }
+  Forest f(comm, conn);
+  f.trees_ = std::move(trees);
+  if (!f.is_valid_local()) {
+    throw std::runtime_error("from_local_leaves: local leaves violate SFC invariants");
+  }
+  f.update_partition_meta();
+  return f;
+}
+
+template <int Dim>
 std::int64_t Forest<Dim>::num_local() const {
   std::int64_t n = 0;
   for (const auto& t : trees_) n += static_cast<std::int64_t>(t.size());

@@ -51,6 +51,15 @@ class Forest {
   /// octants at all.
   static Forest new_uniform(par::Comm& comm, const Conn* conn, int level);
 
+  /// Build a forest directly from per-tree local leaf arrays (collective).
+  /// Each rank's arrays must satisfy the local invariants (sorted, in-root,
+  /// non-overlapping; checked) and the rank-ordered concatenation must form
+  /// the global SFC sequence. Partition may be arbitrary — e.g. everything
+  /// on rank 0 — with a subsequent partition() establishing the canonical
+  /// equal split; checkpoint restore (src/resil) builds forests this way.
+  static Forest from_local_leaves(par::Comm& comm, const Conn* conn,
+                                  std::vector<std::vector<Oct>> trees);
+
   par::Comm& comm() const { return *comm_; }
   const Conn& conn() const { return *conn_; }
 

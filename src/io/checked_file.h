@@ -1,0 +1,78 @@
+// CheckedFile — RAII stdio wrapper whose writes and close are checked.
+//
+// fprintf/fwrite/fclose silently report failure through return values that
+// are easy to ignore; on a full disk that yields a truncated file with a
+// successful-looking exit. Every writer in this repository (VTK output,
+// checkpoint snapshots) goes through this wrapper instead: any failed write,
+// read, or close throws std::runtime_error naming the path.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace esamr::io {
+
+class CheckedFile {
+ public:
+  CheckedFile(std::string path, const char* mode) : path_(std::move(path)) {
+    fp_ = std::fopen(path_.c_str(), mode);
+    if (fp_ == nullptr) throw std::runtime_error("io: cannot open " + path_);
+  }
+  CheckedFile(const CheckedFile&) = delete;
+  CheckedFile& operator=(const CheckedFile&) = delete;
+  ~CheckedFile() {
+    // Best-effort close on unwind; the normal path calls close() and checks.
+    if (fp_ != nullptr) std::fclose(fp_);
+  }
+
+  const std::string& path() const { return path_; }
+
+  __attribute__((format(printf, 2, 3))) void printf(const char* fmt, ...) {
+    std::va_list ap;
+    va_start(ap, fmt);
+    const int n = std::vfprintf(fp_, fmt, ap);
+    va_end(ap);
+    if (n < 0) fail("write");
+  }
+
+  void write(const void* data, std::size_t nbytes) {
+    if (nbytes > 0 && std::fwrite(data, 1, nbytes, fp_) != nbytes) fail("write");
+  }
+
+  void read_exact(void* data, std::size_t nbytes) {
+    if (nbytes > 0 && std::fread(data, 1, nbytes, fp_) != nbytes) fail("short read from");
+  }
+
+  void seek(long offset) {
+    if (std::fseek(fp_, offset, SEEK_SET) != 0) fail("seek in");
+  }
+
+  long size() {
+    const long pos = std::ftell(fp_);
+    if (pos < 0 || std::fseek(fp_, 0, SEEK_END) != 0) fail("seek in");
+    const long end = std::ftell(fp_);
+    if (end < 0 || std::fseek(fp_, pos, SEEK_SET) != 0) fail("seek in");
+    return end;
+  }
+
+  /// Checked close (flushes buffered data; a full disk surfaces here at the
+  /// latest). Idempotent; the destructor then does nothing.
+  void close() {
+    if (fp_ == nullptr) return;
+    std::FILE* fp = fp_;
+    fp_ = nullptr;
+    if (std::fclose(fp) != 0) throw std::runtime_error("io: failed to close " + path_);
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error(std::string("io: failed to ") + what + " " + path_);
+  }
+
+  std::string path_;
+  std::FILE* fp_ = nullptr;
+};
+
+}  // namespace esamr::io

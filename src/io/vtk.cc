@@ -1,7 +1,8 @@
 #include "io/vtk.h"
 
-#include <cstdio>
 #include <stdexcept>
+
+#include "io/checked_file.h"
 
 namespace esamr::io {
 
@@ -27,14 +28,15 @@ template <int Dim>
 void write_forest_vtk(const forest::Forest<Dim>& f, const Geometry<Dim>& geom,
                       const std::string& path,
                       const std::vector<std::pair<std::string, std::vector<double>>>& cell_fields) {
-  std::FILE* fp = std::fopen(path.c_str(), "w");
-  if (fp == nullptr) throw std::runtime_error("vtk: cannot open " + path);
+  // Every write and the final close are checked: a full disk or I/O error
+  // throws naming the path instead of leaving a silently truncated file.
+  CheckedFile fp(path, "w");
   const auto n = static_cast<std::size_t>(f.num_local());
   constexpr int nc = forest::Topo<Dim>::num_corners;
   constexpr double scale = 1.0 / static_cast<double>(forest::Octant<Dim>::root_len);
 
-  std::fprintf(fp, "# vtk DataFile Version 3.0\nesamr forest\nASCII\nDATASET UNSTRUCTURED_GRID\n");
-  std::fprintf(fp, "POINTS %zu double\n", n * nc);
+  fp.printf("# vtk DataFile Version 3.0\nesamr forest\nASCII\nDATASET UNSTRUCTURED_GRID\n");
+  fp.printf("POINTS %zu double\n", n * nc);
   f.for_each_local([&](int t, const forest::Octant<Dim>& o) {
     for (int c = 0; c < nc; ++c) {
       const auto cp = o.corner_point(c);
@@ -43,39 +45,39 @@ void write_forest_vtk(const forest::Forest<Dim>& f, const Geometry<Dim>& geom,
         ref[static_cast<std::size_t>(a)] = scale * cp[static_cast<std::size_t>(a)];
       }
       const auto x = geom(t, ref);
-      std::fprintf(fp, "%.9g %.9g %.9g\n", x[0], x[1], x[2]);
+      fp.printf("%.9g %.9g %.9g\n", x[0], x[1], x[2]);
     }
   });
-  std::fprintf(fp, "CELLS %zu %zu\n", n, n * (nc + 1));
+  fp.printf("CELLS %zu %zu\n", n, n * (nc + 1));
   // VTK corner orders: quad is CCW, hexahedron is bottom CCW then top CCW.
   static constexpr int vtk_perm2[4] = {0, 1, 3, 2};
   static constexpr int vtk_perm3[8] = {0, 1, 3, 2, 4, 5, 7, 6};
   for (std::size_t e = 0; e < n; ++e) {
-    std::fprintf(fp, "%d", nc);
+    fp.printf("%d", nc);
     for (int c = 0; c < nc; ++c) {
       const int pc = (Dim == 2) ? vtk_perm2[c] : vtk_perm3[c];
-      std::fprintf(fp, " %zu", e * nc + static_cast<std::size_t>(pc));
+      fp.printf(" %zu", e * nc + static_cast<std::size_t>(pc));
     }
-    std::fprintf(fp, "\n");
+    fp.printf("\n");
   }
-  std::fprintf(fp, "CELL_TYPES %zu\n", n);
-  for (std::size_t e = 0; e < n; ++e) std::fprintf(fp, "%d\n", Dim == 2 ? 9 : 12);
+  fp.printf("CELL_TYPES %zu\n", n);
+  for (std::size_t e = 0; e < n; ++e) fp.printf("%d\n", Dim == 2 ? 9 : 12);
 
-  std::fprintf(fp, "CELL_DATA %zu\n", n);
-  std::fprintf(fp, "SCALARS mpirank int 1\nLOOKUP_TABLE default\n");
-  for (std::size_t e = 0; e < n; ++e) std::fprintf(fp, "%d\n", f.comm().rank());
-  std::fprintf(fp, "SCALARS level int 1\nLOOKUP_TABLE default\n");
+  fp.printf("CELL_DATA %zu\n", n);
+  fp.printf("SCALARS mpirank int 1\nLOOKUP_TABLE default\n");
+  for (std::size_t e = 0; e < n; ++e) fp.printf("%d\n", f.comm().rank());
+  fp.printf("SCALARS level int 1\nLOOKUP_TABLE default\n");
   f.for_each_local([&](int, const forest::Octant<Dim>& o) {
-    std::fprintf(fp, "%d\n", static_cast<int>(o.level));
+    fp.printf("%d\n", static_cast<int>(o.level));
   });
-  std::fprintf(fp, "SCALARS tree int 1\nLOOKUP_TABLE default\n");
-  f.for_each_local([&](int t, const forest::Octant<Dim>&) { std::fprintf(fp, "%d\n", t); });
+  fp.printf("SCALARS tree int 1\nLOOKUP_TABLE default\n");
+  f.for_each_local([&](int t, const forest::Octant<Dim>&) { fp.printf("%d\n", t); });
   for (const auto& [name, vals] : cell_fields) {
     if (vals.size() != n) throw std::runtime_error("vtk: field size mismatch: " + name);
-    std::fprintf(fp, "SCALARS %s double 1\nLOOKUP_TABLE default\n", name.c_str());
-    for (const double v : vals) std::fprintf(fp, "%.9g\n", v);
+    fp.printf("SCALARS %s double 1\nLOOKUP_TABLE default\n", name.c_str());
+    for (const double v : vals) fp.printf("%.9g\n", v);
   }
-  std::fclose(fp);
+  fp.close();
 }
 
 template Geometry<2> vertex_geometry<2>(const forest::Connectivity<2>&);

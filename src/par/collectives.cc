@@ -59,6 +59,7 @@ void timed_barrier(World* w, int rank) {
 }  // namespace
 
 void Comm::coll_begin(Coll kind, std::size_t payload_bytes) {
+  maybe_kill();
   auto& st = stats();
   const auto idx = static_cast<std::size_t>(kind);
   ++st.coll_calls[idx];

@@ -60,6 +60,7 @@ void World::barrier_wait(int rank) {
 Comm::Comm(World* world, int rank)
     : world_(world), rank_(rank),
       slow_rank_(detail::is_slow_rank(world->opts.inject, rank)),
+      kill_rank_(detail::is_kill_rank(world->opts.inject, rank)),
       send_seq_(static_cast<std::size_t>(world->size), 0) {}
 
 int Comm::size() const noexcept { return world_->size; }
@@ -74,6 +75,13 @@ void Comm::perturb() {
   if (!slow_rank_) return;
   const double us = detail::slow_op_sleep_us(world_->opts.inject, rank_, op_seq_++);
   if (us > 0.0) std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+void Comm::maybe_kill() {
+  if (!kill_rank_) return;
+  if (++kill_op_seq_ >= world_->opts.inject.kill_after_ops) {
+    throw RankFailure(rank_, kill_op_seq_);
+  }
 }
 
 void Comm::send_impl(bool coll, int dest, int tag, const void* data, std::size_t nbytes) {
@@ -150,6 +158,7 @@ Message Comm::recv_impl(bool coll, int source, int tag, const char* what) {
 }
 
 void Comm::send_bytes(int dest, int tag, const void* data, std::size_t nbytes) {
+  maybe_kill();
   perturb();
   send_impl(false, dest, tag, data, nbytes);
   auto& st = stats();
@@ -158,6 +167,7 @@ void Comm::send_bytes(int dest, int tag, const void* data, std::size_t nbytes) {
 }
 
 Message Comm::recv(int source, int tag) {
+  maybe_kill();
   perturb();
   const double t0 = wall_seconds();
   Message out = recv_impl(false, source, tag, "recv");

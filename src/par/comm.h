@@ -73,6 +73,23 @@ class TimeoutError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown from a victim rank's comm operation when seeded rank-kill
+/// injection fires (InjectConfig::{kill_rank_stride, kill_after_ops}),
+/// modelling a one-shot node failure. Like any rank error it poisons the
+/// world so peer ranks unwind, and is re-thrown from par::run; the
+/// resil::supervise loop catches it and retries from a checkpoint.
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(int rank, std::uint64_t op)
+      : std::runtime_error("esamr::par rank failure injected: rank " + std::to_string(rank) +
+                           " killed at comm op " + std::to_string(op)),
+        rank_(rank) {}
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
 /// A received point-to-point message: envelope plus raw payload bytes.
 struct Message {
   int source = any_source;
@@ -303,6 +320,7 @@ class Comm {
   void send_impl(bool coll, int dest, int tag, const void* data, std::size_t nbytes);
   Message recv_impl(bool coll, int source, int tag, const char* what);
   void perturb();
+  void maybe_kill();
 
   // Collective plumbing and algorithms, implemented in collectives.cc.
   void coll_begin(Coll kind, std::size_t payload_bytes);
@@ -328,9 +346,11 @@ class Comm {
   World* world_;
   int rank_;
   bool slow_rank_ = false;      ///< seeded per-rank slowdown selection
+  bool kill_rank_ = false;      ///< seeded rank-kill victim selection
   int coll_tag_base_ = 0;       ///< tag base of the collective in progress
   std::uint64_t coll_seq_ = 0;  ///< collectives issued (lockstep across ranks)
   std::uint64_t op_seq_ = 0;    ///< perturbation stream position
+  std::uint64_t kill_op_seq_ = 0;        ///< comm ops counted toward the kill
   std::vector<std::uint64_t> send_seq_;  ///< per-destination send counters
 };
 

@@ -21,6 +21,13 @@ bool is_slow_rank(const InjectConfig& cfg, int rank) {
          0;
 }
 
+bool is_kill_rank(const InjectConfig& cfg, int rank) {
+  if (!cfg.kill_enabled()) return false;
+  return mix64(cfg.seed ^ 0x6b110000ULL ^ static_cast<std::uint64_t>(rank)) %
+             static_cast<std::uint64_t>(cfg.kill_rank_stride) ==
+         0;
+}
+
 double delay_us(const InjectConfig& cfg, int src, int dst, std::uint64_t seq) {
   if (!cfg.delays_enabled()) return 0.0;
   const std::uint64_t pair =

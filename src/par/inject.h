@@ -22,10 +22,20 @@ struct InjectConfig {
   int slow_rank_stride = 0;
   /// Mean extra latency per comm operation on a slowed rank, microseconds.
   double slow_op_us = 0.0;
+  /// Every stride-th rank (selected by seeded hash, independent of the slow
+  /// set) is a kill victim; 0 = none. Victims throw RankFailure from their
+  /// kill_after_ops-th comm operation, modelling a one-shot node failure.
+  int kill_rank_stride = 0;
+  /// Comm operation count (sends, recvs, collectives) after which a victim
+  /// rank fails; 0 disables rank-kill even when a stride is set.
+  std::uint64_t kill_after_ops = 0;
 
   bool delays_enabled() const { return seed != 0 && max_delay_us > 0.0; }
   bool slowdown_enabled() const {
     return seed != 0 && slow_rank_stride > 0 && slow_op_us > 0.0;
+  }
+  bool kill_enabled() const {
+    return seed != 0 && kill_rank_stride > 0 && kill_after_ops > 0;
   }
 };
 
@@ -39,6 +49,9 @@ double unit_hash(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
 
 /// True if `rank` is one of the seeded slow ranks.
 bool is_slow_rank(const InjectConfig& cfg, int rank);
+
+/// True if `rank` is one of the seeded kill victims.
+bool is_kill_rank(const InjectConfig& cfg, int rank);
 
 /// Delivery delay in microseconds for the seq-th message from src to dst.
 double delay_us(const InjectConfig& cfg, int src, int dst, std::uint64_t seq);

@@ -1,0 +1,555 @@
+#include "resil/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "io/checked_file.h"
+#include "par/inject.h"
+#include "resil/crc32c.h"
+
+namespace esamr::resil {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char magic_bytes[8] = {'E', 'S', 'A', 'M', 'R', 'C', 'K', 'P'};
+constexpr std::size_t max_section_name = 23;  // + NUL in SectionDesc::name
+
+/// Fixed on-disk header. All fields little-endian on every platform we
+/// target; the layout is padding-free by construction (static_assert below).
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t dim;
+  std::uint32_t writer_ranks;
+  std::uint32_t num_trees;
+  std::uint64_t conn_id;
+  std::uint64_t num_octants;
+  std::uint64_t step;
+  std::uint32_t num_sections;
+  std::uint32_t header_crc;  ///< CRC32C of all preceding header bytes
+};
+static_assert(sizeof(Header) == 56 && std::is_trivially_copyable_v<Header>);
+constexpr std::size_t header_crc_span = offsetof(Header, header_crc);
+
+struct SectionDesc {
+  char name[24];         ///< NUL-terminated section name
+  std::uint64_t offset;  ///< absolute file offset of the payload
+  std::uint64_t nbytes;
+  std::uint32_t crc;  ///< CRC32C of the payload
+  std::uint32_t aux;  ///< per-octant double count for field sections, else 0
+};
+static_assert(sizeof(SectionDesc) == 48 && std::is_trivially_copyable_v<SectionDesc>);
+
+/// Fully validated in-memory snapshot (rank 0 only).
+struct Image {
+  std::uint64_t step = 0;
+  std::int64_t bytes_read = 0;
+  std::vector<forest::OctMsg> octants;  ///< global SFC sequence
+  std::vector<NamedField> fields;       ///< global (all-octant) data
+};
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw CheckpointCorrupt("checkpoint " + path + ": " + what);
+}
+
+SectionDesc make_desc(const std::string& name, std::uint64_t offset, const void* data,
+                      std::uint64_t nbytes, std::uint32_t aux) {
+  SectionDesc d{};
+  std::snprintf(d.name, sizeof(d.name), "%s", name.c_str());
+  d.offset = offset;
+  d.nbytes = nbytes;
+  d.crc = crc32c(data, nbytes);
+  d.aux = aux;
+  return d;
+}
+
+/// Read and CRC-validate a snapshot on the calling rank (no communication).
+Image load_image(const std::string& path, int dim, std::uint64_t conn_id, int num_trees) {
+  io::CheckedFile fp(path, "rb");
+  const long fsize = fp.size();
+  if (fsize < static_cast<long>(sizeof(Header))) corrupt(path, "file shorter than header");
+
+  Header h{};
+  fp.read_exact(&h, sizeof(h));
+  if (std::memcmp(h.magic, magic_bytes, sizeof(magic_bytes)) != 0) corrupt(path, "bad magic");
+  if (crc32c(&h, header_crc_span) != h.header_crc) corrupt(path, "header CRC mismatch");
+  if (h.version != checkpoint_format_version) {
+    throw std::runtime_error("checkpoint " + path + ": unsupported format version " +
+                             std::to_string(h.version));
+  }
+  if (h.dim != static_cast<std::uint32_t>(dim) ||
+      h.num_trees != static_cast<std::uint32_t>(num_trees) || h.conn_id != conn_id) {
+    throw std::runtime_error("checkpoint " + path +
+                             ": snapshot does not match this forest (dim/trees/connectivity)");
+  }
+
+  std::vector<SectionDesc> descs(h.num_sections);
+  fp.read_exact(descs.data(), descs.size() * sizeof(SectionDesc));
+  const std::uint64_t data_start = sizeof(Header) + descs.size() * sizeof(SectionDesc);
+
+  Image img;
+  img.step = h.step;
+  img.bytes_read = fsize;
+  bool have_ranges = false, have_octants = false;
+  std::vector<std::uint64_t> writer_counts;
+  for (const SectionDesc& d : descs) {
+    const std::string name(d.name, strnlen(d.name, sizeof(d.name)));
+    if (d.offset < data_start || d.offset + d.nbytes > static_cast<std::uint64_t>(fsize)) {
+      corrupt(path, "section '" + name + "' extends past end of file");
+    }
+    std::vector<std::byte> buf(d.nbytes);
+    fp.seek(static_cast<long>(d.offset));
+    fp.read_exact(buf.data(), buf.size());
+    const std::uint32_t got = crc32c(buf.data(), buf.size());
+    if (got != d.crc) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "CRC mismatch in section '%s' at offset %llu (stored 0x%08x, computed 0x%08x)",
+                    name.c_str(), static_cast<unsigned long long>(d.offset), d.crc, got);
+      corrupt(path, msg);
+    }
+    if (name == "ranges") {
+      if (d.nbytes != h.writer_ranks * sizeof(std::uint64_t)) {
+        corrupt(path, "'ranges' section size does not match writer rank count");
+      }
+      writer_counts.resize(h.writer_ranks);
+      std::memcpy(writer_counts.data(), buf.data(), buf.size());
+      have_ranges = true;
+    } else if (name == "octants") {
+      if (d.nbytes != h.num_octants * sizeof(forest::OctMsg)) {
+        corrupt(path, "'octants' section size does not match octant count");
+      }
+      img.octants.resize(h.num_octants);
+      std::memcpy(img.octants.data(), buf.data(), buf.size());
+      have_octants = true;
+    } else {
+      if (d.aux == 0 || d.nbytes != h.num_octants * d.aux * sizeof(double)) {
+        corrupt(path, "field section '" + name + "' has inconsistent size");
+      }
+      NamedField f;
+      f.name = name;
+      f.per_oct = static_cast<int>(d.aux);
+      f.data.resize(h.num_octants * d.aux);
+      std::memcpy(f.data.data(), buf.data(), buf.size());
+      img.fields.push_back(std::move(f));
+    }
+  }
+  if (!have_ranges || !have_octants) corrupt(path, "missing 'ranges' or 'octants' section");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : writer_counts) total += c;
+  if (total != h.num_octants) corrupt(path, "'ranges' does not sum to the octant count");
+  return img;
+}
+
+/// Pack restore metadata (step, bytes, field names/widths) for the bcast
+/// that tells non-root ranks what the snapshot contains.
+std::vector<std::byte> pack_meta(const Image& img) {
+  std::vector<std::byte> out;
+  const auto put = [&out](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  const auto put_u64 = [&put](std::uint64_t v) { put(&v, sizeof(v)); };
+  put_u64(img.step);
+  put_u64(static_cast<std::uint64_t>(img.bytes_read));
+  put_u64(img.fields.size());
+  for (const NamedField& f : img.fields) {
+    put_u64(static_cast<std::uint64_t>(f.per_oct));
+    put_u64(f.name.size());
+    put(f.name.data(), f.name.size());
+  }
+  return out;
+}
+
+struct Meta {
+  std::uint64_t step = 0;
+  std::int64_t bytes_read = 0;
+  std::vector<std::pair<std::string, int>> fields;  // (name, per_oct)
+};
+
+Meta unpack_meta(const std::vector<std::byte>& in) {
+  std::size_t pos = 0;
+  const auto get = [&](void* p, std::size_t n) {
+    std::memcpy(p, in.data() + pos, n);
+    pos += n;
+  };
+  const auto get_u64 = [&get] {
+    std::uint64_t v;
+    get(&v, sizeof(v));
+    return v;
+  };
+  Meta m;
+  m.step = get_u64();
+  m.bytes_read = static_cast<std::int64_t>(get_u64());
+  const std::uint64_t nf = get_u64();
+  for (std::uint64_t i = 0; i < nf; ++i) {
+    const int per_oct = static_cast<int>(get_u64());
+    std::string name(get_u64(), '\0');
+    get(name.data(), name.size());
+    m.fields.emplace_back(std::move(name), per_oct);
+  }
+  return m;
+}
+
+/// The elastic half of restore: rank 0 holds the full snapshot; everyone
+/// builds a forest (empty away from rank 0) and the existing partition path
+/// redistributes octants and interleaved fields to the canonical SFC split.
+template <int Dim>
+Restored<Dim> distribute(par::Comm& comm, const forest::Connectivity<Dim>& conn, Image&& img) {
+  std::vector<std::byte> meta;
+  if (comm.rank() == 0) meta = pack_meta(img);
+  comm.bcast_bytes(meta, 0);
+  const Meta m = unpack_meta(meta);
+
+  std::vector<std::vector<forest::Octant<Dim>>> trees(
+      static_cast<std::size_t>(conn.num_trees()));
+  if (comm.rank() == 0) {
+    for (const forest::OctMsg& om : img.octants) {
+      if (om.tree < 0 || om.tree >= conn.num_trees()) {
+        throw CheckpointCorrupt("checkpoint: octant names tree " + std::to_string(om.tree) +
+                                " outside the connectivity");
+      }
+      forest::Octant<Dim> o;
+      o.x = om.x;
+      o.y = om.y;
+      if constexpr (Dim == 3) o.z = om.z;
+      o.level = static_cast<std::int8_t>(om.level);
+      trees[static_cast<std::size_t>(om.tree)].push_back(o);
+    }
+  }
+
+  Restored<Dim> out{forest::Forest<Dim>::from_local_leaves(comm, &conn, std::move(trees)),
+                    {},
+                    m.step,
+                    m.bytes_read};
+
+  int total_per_oct = 0;
+  for (const auto& [name, w] : m.fields) total_per_oct += w;
+  if (total_per_oct == 0) {
+    out.forest.partition();
+    return out;
+  }
+
+  // Interleave all fields per octant so one partition_payload call carries
+  // every field with the octants (a second call would move nothing: the
+  // partition is already canonical after the first).
+  const std::size_t n0 = static_cast<std::size_t>(comm.rank() == 0 ? img.octants.size() : 0);
+  std::vector<double> payload(n0 * static_cast<std::size_t>(total_per_oct));
+  if (comm.rank() == 0) {
+    std::size_t off = 0;
+    for (const NamedField& f : img.fields) {
+      const auto w = static_cast<std::size_t>(f.per_oct);
+      for (std::size_t i = 0; i < n0; ++i) {
+        std::copy_n(f.data.begin() + static_cast<std::ptrdiff_t>(i * w), w,
+                    payload.begin() +
+                        static_cast<std::ptrdiff_t>(i * static_cast<std::size_t>(total_per_oct) +
+                                                    off));
+      }
+      off += w;
+    }
+  }
+  out.forest.partition_payload(nullptr, total_per_oct, payload);
+
+  const auto n_local = static_cast<std::size_t>(out.forest.num_local());
+  std::size_t off = 0;
+  for (const auto& [name, w] : m.fields) {
+    NamedField f;
+    f.name = name;
+    f.per_oct = w;
+    f.data.resize(n_local * static_cast<std::size_t>(w));
+    for (std::size_t i = 0; i < n_local; ++i) {
+      std::copy_n(payload.begin() +
+                      static_cast<std::ptrdiff_t>(i * static_cast<std::size_t>(total_per_oct) +
+                                                  off),
+                  static_cast<std::size_t>(w),
+                  f.data.begin() + static_cast<std::ptrdiff_t>(i * static_cast<std::size_t>(w)));
+    }
+    off += static_cast<std::size_t>(w);
+    out.fields.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::uint64_t parse_seq(const fs::path& p) {
+  const std::string stem = p.stem().string();  // "ckpt-<seq>"
+  return std::stoull(stem.substr(5));
+}
+
+}  // namespace
+
+template <int Dim>
+std::uint64_t connectivity_id(const forest::Connectivity<Dim>& conn) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(Dim));
+  mix(static_cast<std::uint64_t>(conn.num_trees()));
+  for (const auto& tv : conn.tree_to_vertex()) {
+    for (const int v : tv) mix(static_cast<std::uint64_t>(v));
+  }
+  for (const auto& vc : conn.vertex_coords()) {
+    for (const double c : vc) mix(std::bit_cast<std::uint64_t>(c));
+  }
+  for (int t = 0; t < conn.num_trees(); ++t) {
+    for (int f = 0; f < 2 * Dim; ++f) {
+      const auto& fc = conn.face_connection(t, f);
+      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(fc.tree)));
+      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(fc.face)));
+      for (int a = 0; a < 3; ++a) {
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(fc.xform.perm[a])));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(fc.xform.sign[a])));
+        mix(static_cast<std::uint64_t>(fc.xform.off[a]));
+      }
+    }
+  }
+  return h;
+}
+
+template <int Dim>
+void write_checkpoint(const forest::Forest<Dim>& f, std::uint64_t conn_id, std::uint64_t step,
+                      const std::vector<NamedField>& fields, const std::string& path) {
+  par::Comm& comm = f.comm();
+  const auto n_local = static_cast<std::size_t>(f.num_local());
+  for (const NamedField& fld : fields) {
+    if (fld.name.empty() || fld.name == "ranges" || fld.name == "octants" ||
+        fld.name.size() > max_section_name) {
+      throw std::runtime_error("write_checkpoint: bad field name '" + fld.name + "'");
+    }
+    if (fld.per_oct <= 0 || fld.data.size() != n_local * static_cast<std::size_t>(fld.per_oct)) {
+      throw std::runtime_error("write_checkpoint: field '" + fld.name +
+                               "' size does not match the local forest");
+    }
+  }
+
+  // Gather the global SFC sequence and every field (rank order = SFC order).
+  std::vector<forest::OctMsg> local;
+  local.reserve(n_local);
+  f.for_each_local([&local](int t, const forest::Octant<Dim>& o) {
+    local.push_back(forest::OctMsg{t, o.x, o.y, Dim == 3 ? o.z : 0, o.level});
+  });
+  const auto oct_parts = comm.allgatherv(local);
+  std::vector<std::vector<std::vector<double>>> field_parts;
+  field_parts.reserve(fields.size());
+  for (const NamedField& fld : fields) field_parts.push_back(comm.allgatherv(fld.data));
+
+  if (comm.rank() == 0) {
+    std::vector<forest::OctMsg> octants;
+    for (const auto& part : oct_parts) octants.insert(octants.end(), part.begin(), part.end());
+    std::vector<std::uint64_t> counts;
+    for (const std::int64_t c : f.global_counts()) counts.push_back(static_cast<std::uint64_t>(c));
+
+    Header h{};
+    std::memcpy(h.magic, magic_bytes, sizeof(magic_bytes));
+    h.version = checkpoint_format_version;
+    h.dim = Dim;
+    h.writer_ranks = static_cast<std::uint32_t>(comm.size());
+    h.num_trees = static_cast<std::uint32_t>(f.num_trees());
+    h.conn_id = conn_id;
+    h.num_octants = octants.size();
+    h.step = step;
+    h.num_sections = static_cast<std::uint32_t>(2 + fields.size());
+    h.header_crc = crc32c(&h, header_crc_span);
+
+    std::vector<std::vector<double>> field_data;
+    for (const auto& parts : field_parts) {
+      std::vector<double> all;
+      for (const auto& part : parts) all.insert(all.end(), part.begin(), part.end());
+      field_data.push_back(std::move(all));
+    }
+
+    std::vector<SectionDesc> descs;
+    std::uint64_t offset = sizeof(Header) + h.num_sections * sizeof(SectionDesc);
+    const auto add = [&](const std::string& name, const void* data, std::uint64_t nbytes,
+                         std::uint32_t aux) {
+      descs.push_back(make_desc(name, offset, data, nbytes, aux));
+      offset += nbytes;
+    };
+    add("ranges", counts.data(), counts.size() * sizeof(std::uint64_t), 0);
+    add("octants", octants.data(), octants.size() * sizeof(forest::OctMsg), 0);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      add(fields[i].name, field_data[i].data(), field_data[i].size() * sizeof(double),
+          static_cast<std::uint32_t>(fields[i].per_oct));
+    }
+
+    // Atomic publish: assemble under a temp name, rename over the target.
+    const std::string tmp = path + ".tmp";
+    {
+      io::CheckedFile fp(tmp, "wb");
+      fp.write(&h, sizeof(h));
+      fp.write(descs.data(), descs.size() * sizeof(SectionDesc));
+      fp.write(counts.data(), counts.size() * sizeof(std::uint64_t));
+      fp.write(octants.data(), octants.size() * sizeof(forest::OctMsg));
+      for (const auto& fd : field_data) fp.write(fd.data(), fd.size() * sizeof(double));
+      fp.close();
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw std::runtime_error("write_checkpoint: cannot rename " + tmp + " to " + path);
+    }
+  }
+  comm.barrier();  // checkpoint completion is a collective postcondition
+}
+
+template <int Dim>
+Restored<Dim> restore_checkpoint(par::Comm& comm, const forest::Connectivity<Dim>& conn,
+                                 std::uint64_t conn_id, const std::string& path) {
+  Image img;
+  if (comm.rank() == 0) img = load_image(path, Dim, conn_id, conn.num_trees());
+  return distribute<Dim>(comm, conn, std::move(img));
+}
+
+CheckpointRing::CheckpointRing(std::string dir, int keep) : dir_(std::move(dir)), keep_(keep) {
+  if (keep_ < 1) throw std::runtime_error("CheckpointRing: keep must be >= 1");
+  fs::create_directories(dir_);
+}
+
+std::vector<std::string> CheckpointRing::entries() const {
+  std::vector<fs::path> found;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    const fs::path& p = e.path();
+    if (p.extension() == ".esnap" && p.stem().string().rfind("ckpt-", 0) == 0) {
+      found.push_back(p);
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const fs::path& a, const fs::path& b) { return parse_seq(a) < parse_seq(b); });
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (const auto& p : found) out.push_back(p.string());
+  return out;
+}
+
+std::string CheckpointRing::newest() const {
+  const auto all = entries();
+  return all.empty() ? std::string() : all.back();
+}
+
+std::string CheckpointRing::next_path() const {
+  const auto all = entries();
+  const std::uint64_t seq = all.empty() ? 0 : parse_seq(fs::path(all.back())) + 1;
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%08llu.esnap", static_cast<unsigned long long>(seq));
+  return (fs::path(dir_) / name).string();
+}
+
+void CheckpointRing::quarantine_newest() {
+  const std::string p = newest();
+  if (p.empty()) return;
+  fs::rename(p, p + ".bad");
+}
+
+void CheckpointRing::prune() {
+  auto all = entries();
+  while (static_cast<int>(all.size()) > keep_) {
+    fs::remove(all.front());
+    all.erase(all.begin());
+  }
+}
+
+template <int Dim>
+void write_checkpoint_ring(const forest::Forest<Dim>& f, std::uint64_t conn_id,
+                           std::uint64_t step, const std::vector<NamedField>& fields,
+                           CheckpointRing& ring) {
+  par::Comm& comm = f.comm();
+  const std::string path = comm.rank() == 0 ? ring.next_path() : std::string();
+  write_checkpoint(f, conn_id, step, fields, path);
+  if (comm.rank() == 0) ring.prune();
+}
+
+template <int Dim>
+Restored<Dim> restore_latest(par::Comm& comm, const forest::Connectivity<Dim>& conn,
+                             std::uint64_t conn_id, CheckpointRing& ring, int* fallbacks) {
+  // Rank 0 walks the ring newest-to-oldest, quarantining corrupt entries,
+  // then broadcasts whether (and with how many fallbacks) a snapshot loaded.
+  Image img;
+  std::uint64_t status = 1;  // 0 = ok, 1 = empty ring, 2 = all entries corrupt
+  std::string err;
+  int falls = 0;
+  if (comm.rank() == 0) {
+    const auto paths = ring.entries();
+    if (paths.empty()) {
+      err = "checkpoint ring empty: " + ring.dir();
+    } else {
+      status = 2;
+      for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+        try {
+          img = load_image(*it, Dim, conn_id, conn.num_trees());
+          status = 0;
+          break;
+        } catch (const CheckpointCorrupt& e) {
+          // This entry is the newest remaining (later ones were quarantined
+          // in earlier iterations), so quarantine-newest hits exactly it.
+          err = e.what();
+          ring.quarantine_newest();
+          ++falls;
+        }
+      }
+    }
+  }
+  status = comm.bcast(status, 0);
+  falls = comm.bcast(falls, 0);
+  if (fallbacks != nullptr) *fallbacks = falls;
+  if (status == 1) {
+    throw std::runtime_error(comm.rank() == 0 ? err : "checkpoint ring empty");
+  }
+  if (status == 2) {
+    throw CheckpointCorrupt(comm.rank() == 0 ? err : "no ring entry passed CRC validation");
+  }
+  return distribute<Dim>(comm, conn, std::move(img));
+}
+
+void corrupt_checkpoint_byte(const std::string& path, std::uint64_t seed) {
+  long fsize = 0;
+  Header h{};
+  {
+    io::CheckedFile fp(path, "rb");
+    fsize = fp.size();
+    fp.read_exact(&h, sizeof(h));
+  }
+  const long data_start =
+      static_cast<long>(sizeof(Header) + h.num_sections * sizeof(SectionDesc));
+  if (fsize <= data_start) {
+    throw std::runtime_error("corrupt_checkpoint_byte: no data region in " + path);
+  }
+  const std::uint64_t hash = par::detail::mix64(seed ^ 0xc0440001ULL);
+  const long off =
+      data_start + static_cast<long>(hash % static_cast<std::uint64_t>(fsize - data_start));
+  const auto bit = static_cast<unsigned char>(1u << ((hash >> 37) % 8));
+
+  io::CheckedFile fp(path, "r+b");
+  unsigned char byte = 0;
+  fp.seek(off);
+  fp.read_exact(&byte, 1);
+  byte = static_cast<unsigned char>(byte ^ bit);
+  fp.seek(off);
+  fp.write(&byte, 1);
+  fp.close();
+}
+
+template std::uint64_t connectivity_id<2>(const forest::Connectivity<2>&);
+template std::uint64_t connectivity_id<3>(const forest::Connectivity<3>&);
+template void write_checkpoint<2>(const forest::Forest<2>&, std::uint64_t, std::uint64_t,
+                                  const std::vector<NamedField>&, const std::string&);
+template void write_checkpoint<3>(const forest::Forest<3>&, std::uint64_t, std::uint64_t,
+                                  const std::vector<NamedField>&, const std::string&);
+template Restored<2> restore_checkpoint<2>(par::Comm&, const forest::Connectivity<2>&,
+                                           std::uint64_t, const std::string&);
+template Restored<3> restore_checkpoint<3>(par::Comm&, const forest::Connectivity<3>&,
+                                           std::uint64_t, const std::string&);
+template void write_checkpoint_ring<2>(const forest::Forest<2>&, std::uint64_t, std::uint64_t,
+                                       const std::vector<NamedField>&, CheckpointRing&);
+template void write_checkpoint_ring<3>(const forest::Forest<3>&, std::uint64_t, std::uint64_t,
+                                       const std::vector<NamedField>&, CheckpointRing&);
+template Restored<2> restore_latest<2>(par::Comm&, const forest::Connectivity<2>&, std::uint64_t,
+                                       CheckpointRing&, int*);
+template Restored<3> restore_latest<3>(par::Comm&, const forest::Connectivity<3>&, std::uint64_t,
+                                       CheckpointRing&, int*);
+
+}  // namespace esamr::resil

@@ -1,0 +1,72 @@
+#include "resil/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "resil/checkpoint.h"
+
+namespace esamr::resil {
+
+std::string RecoveryStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "attempts=%d failures=%d bytes_reread=%lld steps_replayed=%llu backoff_s=%.3f",
+                attempts, failures, static_cast<long long>(bytes_reread),
+                static_cast<unsigned long long>(steps_replayed), backoff_s);
+  std::string out = buf;
+  for (const std::string& f : failure_log) out += "\n  fault: " + f;
+  return out;
+}
+
+namespace {
+
+enum class Fault { rank_failure, timeout, corrupt };
+
+}  // namespace
+
+RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOptions& sopts,
+                        CheckpointRing* ring, const SupervisedBody& body) {
+  RecoveryStats stats;
+  double backoff = sopts.backoff_initial_s;
+  for (int attempt = 0;; ++attempt) {
+    RecoveryContext ctx(attempt);
+
+    // Account a caught fault; returns false when retries are exhausted (the
+    // caller then rethrows the original exception via bare `throw`).
+    const auto on_fault = [&](Fault fault, const char* what) {
+      ++stats.failures;
+      stats.bytes_reread += ctx.bytes_reread();
+      stats.steps_replayed += ctx.steps_done();  // this attempt's work is discarded
+      stats.failure_log.emplace_back(what);
+      if (attempt >= sopts.max_retries) return false;
+      if (fault == Fault::rank_failure && sopts.clear_kill_on_retry) {
+        opts.inject.kill_after_ops = 0;  // one-shot node failure model
+      }
+      if (fault == Fault::corrupt && ring != nullptr) ring->quarantine_newest();
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        stats.backoff_s += backoff;
+        backoff = std::min(backoff * sopts.backoff_factor, sopts.backoff_max_s);
+      }
+      return true;
+    };
+
+    ++stats.attempts;
+    try {
+      par::run(nranks, opts, [&](par::Comm& c) { body(c, ctx); });
+      stats.bytes_reread += ctx.bytes_reread();
+      return stats;
+    } catch (const par::RankFailure& e) {
+      if (!on_fault(Fault::rank_failure, e.what())) throw;
+    } catch (const par::TimeoutError& e) {
+      if (!on_fault(Fault::timeout, e.what())) throw;
+    } catch (const CheckpointCorrupt& e) {
+      if (!on_fault(Fault::corrupt, e.what())) throw;
+    }
+    // Anything else propagates out of the try untouched: a bug, not a fault.
+  }
+}
+
+}  // namespace esamr::resil

@@ -1,0 +1,104 @@
+// Supervised execution with checkpoint-based recovery (ISSUE 2 tentpole).
+//
+// resil::supervise wraps par::run in a retry loop that treats three fault
+// classes as recoverable:
+//
+//   par::RankFailure       injected one-shot node failure (par/inject.h)
+//   par::TimeoutError      a configured recv/barrier timeout expired
+//   resil::CheckpointCorrupt  a snapshot failed CRC validation on restore
+//
+// State machine per attempt:
+//
+//   run body --ok--------------------------------> return stats
+//      |                                             ^
+//      +--recoverable fault--> retries left? --no--> rethrow
+//                                   |yes
+//                                   v
+//              (RankFailure: clear the one-shot kill so the retry
+//               does not deterministically die at the same op;
+//               CheckpointCorrupt: quarantine the ring's newest entry)
+//                                   |
+//                                   v
+//                      exponential backoff, run again
+//
+// Any other exception is a bug, not a fault, and is rethrown immediately.
+//
+// The body is an ordinary SPMD function; on every attempt it is expected to
+// probe its CheckpointRing and resume from the newest valid snapshot (the
+// mantle app does exactly this). The RecoveryContext passed alongside the
+// Comm lets rank 0 report what recovery cost: snapshot bytes re-read and
+// steps executed, from which the supervisor accounts the steps a failed
+// attempt completed as replayed work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "par/comm.h"
+
+namespace esamr::resil {
+
+class CheckpointRing;
+
+/// What a supervised run cost in recovery terms.
+struct RecoveryStats {
+  int attempts = 0;            ///< par::run launches (>= 1)
+  int failures = 0;            ///< recoverable faults caught
+  std::int64_t bytes_reread = 0;     ///< snapshot bytes read across restores
+  std::uint64_t steps_replayed = 0;  ///< steps completed by failed attempts
+  double backoff_s = 0.0;            ///< total time slept between attempts
+  std::vector<std::string> failure_log;  ///< one message per caught fault
+
+  std::string summary() const;
+};
+
+struct SupervisorOptions {
+  /// Retries after the first attempt; attempt count is at most 1 + max_retries.
+  int max_retries = 3;
+  double backoff_initial_s = 0.01;
+  double backoff_factor = 2.0;
+  double backoff_max_s = 1.0;
+  /// Treat injected rank-kill as a one-shot node failure: the retry runs with
+  /// kill_after_ops = 0 so the same deterministic kill cannot fire again.
+  bool clear_kill_on_retry = true;
+};
+
+/// Per-attempt reporting channel between the SPMD body and the supervisor.
+/// Methods are thread-safe; by convention only rank 0 records (the counters
+/// are global quantities, already replicated).
+class RecoveryContext {
+ public:
+  explicit RecoveryContext(int attempt) : attempt_(attempt) {}
+
+  /// 0 for the first attempt, incremented per retry.
+  int attempt() const { return attempt_; }
+
+  /// Rank 0: a checkpoint restore read `bytes` from disk.
+  void record_restore(std::int64_t bytes) {
+    bytes_reread_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  /// Rank 0: one application step completed in this attempt.
+  void note_step() { steps_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::int64_t bytes_reread() const { return bytes_reread_.load(std::memory_order_relaxed); }
+  std::uint64_t steps_done() const { return steps_.load(std::memory_order_relaxed); }
+
+ private:
+  int attempt_;
+  std::atomic<std::int64_t> bytes_reread_{0};
+  std::atomic<std::uint64_t> steps_{0};
+};
+
+using SupervisedBody = std::function<void(par::Comm&, RecoveryContext&)>;
+
+/// Run `body` as an SPMD section under supervision (see file header).
+/// `ring` may be null when the body manages its own snapshots (it is only
+/// used to quarantine the newest entry after CheckpointCorrupt).
+/// Throws the last caught fault when retries are exhausted.
+RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOptions& sopts,
+                        CheckpointRing* ring, const SupervisedBody& body);
+
+}  // namespace esamr::resil

@@ -1,0 +1,154 @@
+// Unit tests for the deterministic fault-injection primitives
+// (par/inject.h detail functions) and the invariants the comm layer builds
+// on them: hashes are pure functions of (seed, coordinates), delays stay in
+// range, and per-(src, dst) message order survives arbitrary delays.
+#include "par/inject.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "par/comm.h"
+
+namespace par = esamr::par;
+using par::InjectConfig;
+namespace detail = esamr::par::detail;
+
+TEST(Mix64, DeterministicAndWellSpread) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    const std::uint64_t h = detail::mix64(x);
+    EXPECT_EQ(h, detail::mix64(x));
+    seen.insert(h);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions on consecutive inputs
+}
+
+TEST(UnitHash, RangeAndDeterminism) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    for (std::uint64_t a = 0; a < 20; ++a) {
+      for (std::uint64_t b = 0; b < 20; ++b) {
+        const double u = detail::unit_hash(seed, a, b);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_EQ(u, detail::unit_hash(seed, a, b));
+      }
+    }
+  }
+}
+
+TEST(UnitHash, SensitiveToEveryCoordinate) {
+  const double base = detail::unit_hash(7, 3, 5);
+  EXPECT_NE(base, detail::unit_hash(8, 3, 5));
+  EXPECT_NE(base, detail::unit_hash(7, 4, 5));
+  EXPECT_NE(base, detail::unit_hash(7, 3, 6));
+}
+
+TEST(SlowRank, DeterministicSelection) {
+  InjectConfig cfg;
+  cfg.seed = 12345;
+  cfg.slow_rank_stride = 3;
+  cfg.slow_op_us = 10.0;
+  std::vector<bool> first;
+  for (int r = 0; r < 64; ++r) first.push_back(detail::is_slow_rank(cfg, r));
+  for (int r = 0; r < 64; ++r) EXPECT_EQ(first[static_cast<std::size_t>(r)], detail::is_slow_rank(cfg, r));
+  // Roughly one in `stride` ranks is selected; with 64 ranks at least one is.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+}
+
+TEST(SlowRank, DisabledConfigsSelectNobody) {
+  InjectConfig cfg;  // seed = 0
+  cfg.slow_rank_stride = 2;
+  cfg.slow_op_us = 10.0;
+  EXPECT_FALSE(detail::is_slow_rank(cfg, 0));
+  cfg.seed = 1;
+  cfg.slow_op_us = 0.0;  // no slowdown magnitude -> disabled
+  EXPECT_FALSE(detail::is_slow_rank(cfg, 0));
+}
+
+TEST(KillRank, DeterministicAndIndependentOfSlowSet) {
+  InjectConfig cfg;
+  cfg.seed = 999;
+  cfg.kill_rank_stride = 4;
+  cfg.kill_after_ops = 10;
+  cfg.slow_rank_stride = 4;
+  cfg.slow_op_us = 5.0;
+  int kills = 0;
+  bool differs = false;
+  for (int r = 0; r < 64; ++r) {
+    const bool k = detail::is_kill_rank(cfg, r);
+    EXPECT_EQ(k, detail::is_kill_rank(cfg, r));
+    kills += k ? 1 : 0;
+    if (k != detail::is_slow_rank(cfg, r)) differs = true;
+  }
+  EXPECT_GT(kills, 0);
+  EXPECT_LT(kills, 64);
+  // Kill victims are salted independently from the slow set.
+  EXPECT_TRUE(differs);
+}
+
+TEST(KillRank, DisabledWithoutStrideOrBudget) {
+  InjectConfig cfg;
+  cfg.seed = 999;
+  cfg.kill_rank_stride = 0;
+  cfg.kill_after_ops = 10;
+  EXPECT_FALSE(cfg.kill_enabled());
+  EXPECT_FALSE(detail::is_kill_rank(cfg, 0));
+  cfg.kill_rank_stride = 2;
+  cfg.kill_after_ops = 0;
+  EXPECT_FALSE(cfg.kill_enabled());
+  EXPECT_FALSE(detail::is_kill_rank(cfg, 0));
+}
+
+TEST(DelayUs, RangeDeterminismAndStreams) {
+  InjectConfig cfg;
+  cfg.seed = 77;
+  cfg.max_delay_us = 250.0;
+  bool varies = false;
+  double prev = -1.0;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const double d = detail::delay_us(cfg, 1, 2, seq);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, cfg.max_delay_us);
+    EXPECT_EQ(d, detail::delay_us(cfg, 1, 2, seq));
+    if (prev >= 0.0 && d != prev) varies = true;
+    prev = d;
+  }
+  EXPECT_TRUE(varies);  // the per-message stream is not constant
+  // Distinct (src, dst) pairs draw from distinct streams.
+  EXPECT_NE(detail::delay_us(cfg, 1, 2, 0), detail::delay_us(cfg, 2, 1, 0));
+  cfg.max_delay_us = 0.0;
+  EXPECT_EQ(detail::delay_us(cfg, 1, 2, 0), 0.0);
+}
+
+TEST(SlowOpSleep, JittersAroundTheMean) {
+  InjectConfig cfg;
+  cfg.seed = 31;
+  cfg.slow_op_us = 100.0;
+  for (std::uint64_t op = 0; op < 100; ++op) {
+    const double us = detail::slow_op_sleep_us(cfg, 3, op);
+    EXPECT_GE(us, 0.5 * cfg.slow_op_us);
+    EXPECT_LT(us, 1.5 * cfg.slow_op_us);
+    EXPECT_EQ(us, detail::slow_op_sleep_us(cfg, 3, op));
+  }
+}
+
+// The clamping invariant the injection design document promises: delays
+// perturb timing only; messages between a fixed (src, dst) pair are received
+// in send order regardless of the drawn delays.
+TEST(DelayUs, PerPairFifoPreservedUnderDelays) {
+  par::RunOptions opts;
+  opts.inject.seed = 2024;
+  opts.inject.max_delay_us = 500.0;
+  constexpr int nmsg = 32;
+  par::run(4, opts, [](par::Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    for (int i = 0; i < nmsg; ++i) c.send_value(next, /*tag=*/7, i);
+    for (int i = 0; i < nmsg; ++i) {
+      const auto m = c.recv(par::any_source, 7);
+      EXPECT_EQ(m.value<int>(), i);  // in-order despite random delays
+    }
+  });
+}

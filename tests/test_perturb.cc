@@ -14,6 +14,8 @@
 
 #include "forest/ghost.h"
 #include "forest/nodes.h"
+#include "par/inject.h"
+#include "resil/supervisor.h"
 
 using namespace esamr::forest;
 namespace par = esamr::par;
@@ -136,6 +138,42 @@ TEST_P(PerturbRanks, PipelineBackendIndependent) {
   par::RunOptions p2p;
   p2p.backend = par::Backend::p2p;
   EXPECT_EQ(pipeline_on<3>(p, conn, ref), pipeline_on<3>(p, conn, p2p));
+}
+
+TEST_P(PerturbRanks, PipelineBitIdenticalUnderSupervisedRankKill) {
+  // Kill-seed sweep: a deterministically chosen victim rank dies mid-pipeline
+  // on some seeds; the supervisor restarts the (stateless, deterministic)
+  // pipeline and the per-rank results must match the fault-free run
+  // bit-for-bit. Seeds that select no victim must pass through untouched.
+  namespace resil = esamr::resil;
+  const int p = GetParam();
+  const auto conn = Connectivity<2>::brick({2, 2}, {false, true});
+  par::RunOptions base;
+  base.backend = par::Backend::p2p;
+  const auto baseline = pipeline_on<2>(p, conn, base);
+  int kills_seen = 0;
+  for (const std::uint64_t seed : {7ULL, 19ULL, 23ULL, 57ULL}) {
+    par::RunOptions opts = base;
+    opts.inject.seed = seed;
+    opts.inject.kill_rank_stride = 2;
+    opts.inject.kill_after_ops = 11;
+    int victims = 0;
+    for (int r = 0; r < p; ++r) {
+      if (par::detail::is_kill_rank(opts.inject, r)) ++victims;
+    }
+    resil::SupervisorOptions sopt;
+    sopt.max_retries = 2;
+    sopt.backoff_initial_s = 0.0;
+    std::vector<RankFingerprint> got(static_cast<std::size_t>(p));
+    const auto stats = resil::supervise(
+        p, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext&) {
+          got[static_cast<std::size_t>(c.rank())] = run_pipeline<2>(c, conn);
+        });
+    EXPECT_EQ(stats.failures, victims > 0 ? 1 : 0) << "seed " << seed;
+    EXPECT_EQ(baseline, got) << "pipeline diverged after recovery, seed " << seed;
+    kills_seen += victims > 0 ? 1 : 0;
+  }
+  EXPECT_GT(kills_seen, 0);  // the sweep must actually exercise a kill
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PerturbRanks, ::testing::Values(2, 4, 7));

@@ -1,0 +1,446 @@
+// Tests for the checkpoint/restart subsystem (src/resil): CRC-validated
+// snapshots, elastic restore across rank counts, corruption fallback through
+// the retention ring, deterministic rank-kill injection, and supervised
+// recovery — including the end-to-end guarantee that a mantle run killed
+// mid-flight and recovered from a snapshot finishes with bit-identical
+// per-rank fields.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/mantle.h"
+#include "forest/forest.h"
+#include "par/comm.h"
+#include "par/inject.h"
+#include "resil/checkpoint.h"
+#include "resil/crc32c.h"
+#include "resil/supervisor.h"
+
+using namespace esamr;
+using forest::Connectivity;
+using forest::Forest;
+using forest::Octant;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh per-test scratch directory under the gtest temp dir.
+std::string test_dir(const std::string& name) {
+  const std::string d = ::testing::TempDir() + "esamr_resil_" + name;
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d;
+}
+
+/// Deterministic, partition-independent per-octant field value.
+double field_value(int t, const Octant<2>& o, int comp) {
+  return static_cast<double>(t) + 1e-9 * o.x + 1e-10 * o.y + 0.125 * o.level + 3.0 * comp;
+}
+
+/// A nonuniform, canonically partitioned forest for snapshot tests.
+Forest<2> make_forest(par::Comm& c, const Connectivity<2>& conn) {
+  auto f = Forest<2>::new_uniform(c, &conn, 2);
+  f.refine(4, false,
+           [](int t, const Octant<2>& o) { return (t + o.child_id() + o.level) % 3 == 0; });
+  f.balance();
+  f.partition();
+  return f;
+}
+
+resil::NamedField make_field(const Forest<2>& f, const std::string& name, int per_oct) {
+  resil::NamedField fld{name, per_oct, {}};
+  f.for_each_local([&](int t, const Octant<2>& o) {
+    for (int k = 0; k < per_oct; ++k) fld.data.push_back(field_value(t, o, k));
+  });
+  return fld;
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Flatten this rank's view of the *global* forest + field into words, via
+/// allgatherv, for cross-rank-count comparisons. Identical on every rank.
+std::vector<std::int64_t> global_state_words(par::Comm& c, const Forest<2>& f,
+                                             const std::vector<double>& field) {
+  // Gather octants and field bits separately: concatenating mixed per-rank
+  // blocks would make the flattened layout depend on the rank boundaries.
+  std::vector<std::int64_t> octs;
+  f.for_each_local([&](int t, const Octant<2>& o) {
+    octs.push_back(t);
+    octs.push_back(o.x);
+    octs.push_back(o.y);
+    octs.push_back(o.level);
+  });
+  std::vector<std::int64_t> vals;
+  for (const double v : field) {
+    std::int64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    vals.push_back(bits);
+  }
+  std::vector<std::int64_t> all;
+  for (const auto& part : c.allgatherv(octs)) all.insert(all.end(), part.begin(), part.end());
+  for (const auto& part : c.allgatherv(vals)) all.insert(all.end(), part.begin(), part.end());
+  return all;
+}
+
+/// First seed for which exactly one of `nranks` ranks is a kill victim.
+std::uint64_t pick_kill_seed(int nranks, int stride, int* victim) {
+  for (std::uint64_t seed = 1; seed < 10000; ++seed) {
+    par::InjectConfig cfg;
+    cfg.seed = seed;
+    cfg.kill_rank_stride = stride;
+    cfg.kill_after_ops = 1;
+    int count = 0, v = -1;
+    for (int r = 0; r < nranks; ++r) {
+      if (par::detail::is_kill_rank(cfg, r)) {
+        ++count;
+        v = r;
+      }
+    }
+    if (count == 1) {
+      *victim = v;
+      return seed;
+    }
+  }
+  ADD_FAILURE() << "no single-victim kill seed found";
+  return 0;
+}
+
+/// Comm operations counted toward the kill budget (sends, recvs, collectives).
+std::uint64_t ops_of(const par::CommStats& st) {
+  std::int64_t n = st.p2p_sends + st.p2p_recvs;
+  for (const auto calls : st.coll_calls) n += calls;
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+TEST(Crc32c, KnownAnswerAndIncremental) {
+  // RFC 3720 check value for "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(resil::crc32c(s, 9), 0xE3069283u);
+  // Incremental folding matches the one-shot result.
+  std::uint32_t crc = 0;
+  crc = resil::crc32c_update(crc, s, 4);
+  crc = resil::crc32c_update(crc, s + 4, 5);
+  EXPECT_EQ(crc, 0xE3069283u);
+  EXPECT_EQ(resil::crc32c(s, 0), 0u);
+}
+
+TEST(Checkpoint, RoundTripSameRankCount) {
+  const auto conn = Connectivity<2>::brick({2, 1}, {false, false});
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::string path = test_dir("roundtrip") + "/snap.esnap";
+  par::run(4, [&](par::Comm& c) {
+    auto f = make_forest(c, conn);
+    const auto vel = make_field(f, "vel", 2);
+    const auto eps = make_field(f, "eps", 1);
+    resil::write_checkpoint(f, cid, 42, {vel, eps}, path);
+    auto r = resil::restore_checkpoint<2>(c, conn, cid, path);
+    EXPECT_EQ(r.step, 42u);
+    EXPECT_GT(r.bytes_read, 0);
+    EXPECT_EQ(r.forest.checksum(), f.checksum());
+    // Same rank count: the canonical partition is reproduced exactly.
+    for (int t = 0; t < f.num_trees(); ++t) EXPECT_EQ(r.forest.tree(t), f.tree(t));
+    ASSERT_EQ(r.fields.size(), 2u);
+    EXPECT_EQ(r.fields[0].name, "vel");
+    EXPECT_EQ(r.fields[0].per_oct, 2);
+    EXPECT_TRUE(bits_equal(r.fields[0].data, vel.data));
+    EXPECT_EQ(r.fields[1].name, "eps");
+    EXPECT_TRUE(bits_equal(r.fields[1].data, eps.data));
+  });
+}
+
+TEST(Checkpoint, ElasticRestoreAcrossRankCounts) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::string path = test_dir("elastic") + "/snap.esnap";
+  std::uint64_t want_checksum = 0;
+  std::vector<std::int64_t> want_words;
+  par::run(7, [&](par::Comm& c) {
+    auto f = make_forest(c, conn);
+    const auto eps = make_field(f, "eps", 1);
+    resil::write_checkpoint(f, cid, 3, {eps}, path);
+    const auto words = global_state_words(c, f, eps.data);
+    const auto sum = f.checksum();  // collective: call on every rank
+    if (c.rank() == 0) {
+      want_checksum = sum;
+      want_words = words;
+    }
+  });
+  ASSERT_FALSE(want_words.empty());
+  for (const int p : {1, 2, 4, 16}) {
+    par::run(p, [&](par::Comm& c) {
+      auto r = resil::restore_checkpoint<2>(c, conn, cid, path);
+      EXPECT_EQ(r.forest.checksum(), want_checksum) << "P=" << p;
+      ASSERT_EQ(r.fields.size(), 1u);
+      // The global octant sequence and field bits are unchanged...
+      const auto words = global_state_words(c, r.forest, r.fields[0].data);
+      if (c.rank() == 0) {
+        EXPECT_EQ(words, want_words) << "P=" << p;
+      }
+      // ...and the restored partition is the canonical equal SFC split.
+      const auto& counts = r.forest.global_counts();
+      const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+      EXPECT_LE(*hi - *lo, 1) << "P=" << p;
+    });
+  }
+}
+
+TEST(Checkpoint, CorruptionDetectedWithSectionAndOffsetThenRingFallsBack) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::string dir = test_dir("corrupt");
+  par::run(2, [&](par::Comm& c) {
+    resil::CheckpointRing ring(dir, 3);
+    auto f = make_forest(c, conn);
+    const auto eps = make_field(f, "eps", 1);
+    resil::write_checkpoint_ring(f, cid, 1, {eps}, ring);
+    resil::write_checkpoint_ring(f, cid, 2, {eps}, ring);
+  });
+  resil::CheckpointRing ring(dir, 3);
+  ASSERT_EQ(ring.entries().size(), 2u);
+  const std::string newest = ring.newest();
+  resil::corrupt_checkpoint_byte(newest, 77);
+
+  // Direct restore of the corrupted snapshot: the error names the section
+  // and the file offset of the failing payload.
+  try {
+    par::run(1, [&](par::Comm& c) { resil::restore_checkpoint<2>(c, conn, cid, newest); });
+    FAIL() << "expected CheckpointCorrupt";
+  } catch (const resil::CheckpointCorrupt& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("CRC mismatch in section '"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("at offset "), std::string::npos) << msg;
+    EXPECT_NE(msg.find("stored 0x"), std::string::npos) << msg;
+  }
+
+  // restore_latest falls back to the previous ring entry and quarantines
+  // the corrupted one as *.bad.
+  par::run(2, [&](par::Comm& c) {
+    resil::CheckpointRing r2(dir, 3);
+    int fallbacks = -1;
+    auto r = resil::restore_latest<2>(c, conn, cid, r2, &fallbacks);
+    EXPECT_EQ(r.step, 1u);
+    EXPECT_EQ(fallbacks, 1);
+  });
+  EXPECT_EQ(ring.entries().size(), 1u);
+  bool quarantined = false;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".bad") quarantined = true;
+  }
+  EXPECT_TRUE(quarantined);
+}
+
+TEST(Checkpoint, RingKeepsOnlyNewestAndSequencesAdvance) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::string dir = test_dir("ring");
+  par::run(1, [&](par::Comm& c) {
+    resil::CheckpointRing ring(dir, 2);
+    auto f = make_forest(c, conn);
+    for (std::uint64_t s = 0; s < 5; ++s) resil::write_checkpoint_ring(f, cid, s, {}, ring);
+    EXPECT_EQ(ring.entries().size(), 2u);
+    EXPECT_NE(ring.newest().find("ckpt-00000004.esnap"), std::string::npos);
+    auto r = resil::restore_latest<2>(c, conn, cid, ring);
+    EXPECT_EQ(r.step, 4u);
+    EXPECT_TRUE(r.fields.empty());
+    EXPECT_EQ(r.forest.checksum(), f.checksum());
+  });
+}
+
+TEST(Checkpoint, WrongConnectivityRejected) {
+  const auto conn = Connectivity<2>::unit();
+  const auto other = Connectivity<2>::brick({2, 1}, {false, false});
+  EXPECT_NE(resil::connectivity_id(conn), resil::connectivity_id(other));
+  const std::string path = test_dir("wrongconn") + "/snap.esnap";
+  par::run(1, [&](par::Comm& c) {
+    auto f = make_forest(c, conn);
+    resil::write_checkpoint(f, resil::connectivity_id(conn), 0, {}, path);
+  });
+  try {
+    par::run(1, [&](par::Comm& c) {
+      resil::restore_checkpoint<2>(c, other, resil::connectivity_id(other), path);
+    });
+    FAIL() << "expected a mismatch error";
+  } catch (const resil::CheckpointCorrupt&) {
+    FAIL() << "mismatch must not be reported as corruption";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("does not match"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RankKill, DeterministicVictimAndFailurePropagation) {
+  int victim = -1;
+  const std::uint64_t seed = pick_kill_seed(4, 4, &victim);
+  par::RunOptions opts;
+  opts.inject.seed = seed;
+  opts.inject.kill_rank_stride = 4;
+  opts.inject.kill_after_ops = 5;
+  for (int rep = 0; rep < 2; ++rep) {
+    try {
+      par::run(4, opts, [](par::Comm& c) {
+        for (int i = 0; i < 100; ++i) {
+          c.barrier();
+          c.allreduce(i, par::ReduceOp::sum);
+        }
+      });
+      FAIL() << "expected RankFailure";
+    } catch (const par::RankFailure& e) {
+      EXPECT_EQ(e.rank(), victim);  // same victim on every repetition
+      EXPECT_NE(std::string(e.what()).find("rank failure injected"), std::string::npos);
+    }
+  }
+}
+
+TEST(Supervisor, RetriesPastOneShotKill) {
+  int victim = -1;
+  const std::uint64_t seed = pick_kill_seed(4, 4, &victim);
+  par::RunOptions opts;
+  opts.inject.seed = seed;
+  opts.inject.kill_rank_stride = 4;
+  opts.inject.kill_after_ops = 10;
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 3;
+  sopt.backoff_initial_s = 0.0;
+  const auto stats = resil::supervise(
+      4, opts, sopt, nullptr, [](par::Comm& c, resil::RecoveryContext& ctx) {
+        if (c.rank() == 0) ctx.note_step();
+        for (int i = 0; i < 20; ++i) c.barrier();
+      });
+  EXPECT_EQ(stats.attempts, 2);  // one failure, one clean retry
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_EQ(stats.steps_replayed, 1u);
+  ASSERT_EQ(stats.failure_log.size(), 1u);
+  EXPECT_NE(stats.failure_log[0].find("rank failure injected"), std::string::npos);
+  EXPECT_NE(stats.summary().find("attempts=2"), std::string::npos);
+}
+
+TEST(Supervisor, GivesUpWhenTheFaultPersists) {
+  int victim = -1;
+  const std::uint64_t seed = pick_kill_seed(4, 4, &victim);
+  par::RunOptions opts;
+  opts.inject.seed = seed;
+  opts.inject.kill_rank_stride = 4;
+  opts.inject.kill_after_ops = 5;
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 2;
+  sopt.backoff_initial_s = 0.0;
+  sopt.clear_kill_on_retry = false;  // the same kill fires on every attempt
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(resil::supervise(4, opts, sopt, nullptr,
+                                [&attempts](par::Comm& c, resil::RecoveryContext&) {
+                                  if (c.rank() == 0) ++attempts;
+                                  for (int i = 0; i < 20; ++i) c.barrier();
+                                }),
+               par::RankFailure);
+  EXPECT_EQ(attempts.load(), 1 + sopt.max_retries);
+}
+
+TEST(Supervisor, QuarantinesNewestRingEntryOnCorruption) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::string dir = test_dir("superquarantine");
+  par::run(2, [&](par::Comm& c) {
+    resil::CheckpointRing ring(dir, 3);
+    auto f = make_forest(c, conn);
+    resil::write_checkpoint_ring(f, cid, 0, {}, ring);
+  });
+  resil::CheckpointRing ring(dir, 3);
+  ASSERT_EQ(ring.entries().size(), 1u);
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 2;
+  sopt.backoff_initial_s = 0.0;
+  const auto stats = resil::supervise(
+      2, par::RunOptions{}, sopt, &ring, [](par::Comm& c, resil::RecoveryContext& ctx) {
+        if (ctx.attempt() == 0 && c.rank() == 0) {
+          throw resil::CheckpointCorrupt("synthetic corruption");
+        }
+        c.barrier();
+      });
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_TRUE(ring.entries().empty());  // the suspect snapshot was quarantined
+}
+
+// The tentpole acceptance test: a mantle run with mid-flight rank kill,
+// supervised recovery from the checkpoint ring, and bit-identical final
+// per-rank fields versus the fault-free run.
+TEST(MantleRecovery, KilledRunRecoversToBitIdenticalFields) {
+  constexpr int P = 4;
+  apps::MantleOptions mopt;
+  mopt.base_level = 2;
+  mopt.max_level = 4;
+  mopt.temperature_max_level = 3;
+  mopt.static_adapt_rounds = 2;
+  mopt.picard_iterations = 4;
+  mopt.adapt_every = 2;
+  mopt.minres_rtol = 1e-6;
+  mopt.rheology.plate_boundaries = {0.5, 2.5, 4.5};
+  mopt.temperature.slab_angles = {0.5, 2.5};
+
+  // Fault-free baseline; also measure each rank's comm-op count so the kill
+  // can be placed deterministically in the later part of the run.
+  std::vector<std::vector<double>> base_vel(P), base_eps(P);
+  std::vector<std::uint64_t> base_sum(P), base_ops(P);
+  par::run(P, [&](par::Comm& c) {
+    apps::MantleSimulation sim(c, mopt);
+    sim.run();
+    const auto r = static_cast<std::size_t>(c.rank());
+    base_vel[r] = sim.corner_velocities();
+    base_eps[r] = sim.element_strain_rate();
+    base_sum[r] = sim.forest().checksum();
+    base_ops[r] = ops_of(c.stats());
+  });
+
+  int victim = -1;
+  const std::uint64_t seed = pick_kill_seed(P, P, &victim);
+  par::RunOptions opts;
+  opts.inject.seed = seed;
+  opts.inject.kill_rank_stride = P;
+  // ~7/8 through the victim's baseline op count: safely after the first
+  // checkpoint (written every iteration) and before the run can finish
+  // (the checkpointed run has strictly more ops than the baseline).
+  opts.inject.kill_after_ops = base_ops[static_cast<std::size_t>(victim)] * 7 / 8;
+  ASSERT_GT(opts.inject.kill_after_ops, 0u);
+
+  auto mopt2 = mopt;
+  mopt2.checkpoint_every = 1;
+  mopt2.checkpoint_dir = test_dir("mantle_ring");
+  mopt2.checkpoint_keep = 3;
+
+  std::vector<std::vector<double>> got_vel(P), got_eps(P);
+  std::vector<std::uint64_t> got_sum(P);
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 3;
+  sopt.backoff_initial_s = 0.0;
+  const auto stats = resil::supervise(
+      P, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
+        apps::MantleSimulation sim(c, mopt2);
+        sim.set_recovery_context(&ctx);
+        sim.run();
+        const auto r = static_cast<std::size_t>(c.rank());
+        got_vel[r] = sim.corner_velocities();
+        got_eps[r] = sim.element_strain_rate();
+        got_sum[r] = sim.forest().checksum();
+      });
+
+  // The kill fired, the retry restored from a snapshot, and work was replayed.
+  EXPECT_GE(stats.attempts, 2);
+  EXPECT_GE(stats.failures, 1);
+  EXPECT_GT(stats.bytes_reread, 0);
+  EXPECT_GE(stats.steps_replayed, 1u);
+  // Final state is bit-identical to the fault-free run, rank by rank.
+  for (std::size_t r = 0; r < P; ++r) {
+    EXPECT_EQ(got_sum[r], base_sum[r]) << "rank " << r;
+    EXPECT_TRUE(bits_equal(got_vel[r], base_vel[r])) << "corner_vel differs on rank " << r;
+    EXPECT_TRUE(bits_equal(got_eps[r], base_eps[r])) << "strain_rate differs on rank " << r;
+  }
+}
