@@ -9,12 +9,22 @@
 // mildly (~6 s -> 8–9 s, i.e. 65–72% parallel efficiency over 18360x).
 // Here ranks are simulated (threads) and the per-rank load is reduced; the
 // shape claims are the reproduction target (see EXPERIMENTS.md).
+//
+// Usage: bench_fig4 [per_rank] [--json out.json]
+// The JSON report carries per-phase timings plus the OpStats counters
+// (octants sent, merge passes, exchange/resolution rounds, ...) summed over
+// ranks; BENCH_fig4.json in the repository root pins the pre-rewrite
+// baseline (reference ripple Balance + reference Nodes) that the `perf`
+// ctest label and EXPERIMENTS.md compare against.
 #include <cinttypes>
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "forest/nodes.h"
+#include "forest/stats.h"
 
 using namespace esamr;
 using esamr::bench::timed_max;
@@ -25,12 +35,14 @@ struct Row {
   int ranks;
   std::int64_t elements;
   double t_new, t_refine, t_partition, t_balance, t_ghost, t_nodes;
+  forest::OpStats ops;  // summed over ranks
 };
 
 Row run_case(int nranks, std::int64_t target_per_rank) {
   Row row{};
   row.ranks = nranks;
   par::run(nranks, [&](par::Comm& comm) {
+    forest::op_stats().reset();
     const auto conn = forest::Connectivity<3>::rotcubes();
     std::unique_ptr<forest::Forest<3>> f;
     row.t_new = timed_max(comm, [&] {
@@ -56,23 +68,82 @@ Row run_case(int nranks, std::int64_t target_per_rank) {
         comm, [&] { g = std::make_unique<forest::GhostLayer<3>>(forest::GhostLayer<3>::build(*f)); });
     row.t_nodes = timed_max(comm, [&] { forest::NodeNumbering<3>::build(*f, *g); });
     row.elements = f->num_global();
+    const forest::OpStats total = forest::op_stats_total(comm);
+    if (comm.rank() == 0) row.ops = total;
   });
   return row;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows, std::int64_t per_rank) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_fig4: cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"bench\": \"fig4\",\n  \"per_rank_target\": %" PRId64 ",\n", per_rank);
+  std::fprintf(out, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double total =
+        r.t_new + r.t_refine + r.t_partition + r.t_balance + r.t_ghost + r.t_nodes;
+    const double mper = static_cast<double>(r.elements) / r.ranks / 1e6;
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"ranks\": %d,\n      \"elements\": %" PRId64 ",\n", r.ranks,
+                 r.elements);
+    std::fprintf(out,
+                 "      \"seconds\": {\"new\": %.6f, \"refine\": %.6f, \"partition\": %.6f, "
+                 "\"balance\": %.6f, \"ghost\": %.6f, \"nodes\": %.6f, \"total\": %.6f},\n",
+                 r.t_new, r.t_refine, r.t_partition, r.t_balance, r.t_ghost, r.t_nodes, total);
+    std::fprintf(out,
+                 "      \"share\": {\"balance\": %.4f, \"nodes\": %.4f, \"balance_nodes\": "
+                 "%.4f},\n",
+                 r.t_balance / total, r.t_nodes / total, (r.t_balance + r.t_nodes) / total);
+    std::fprintf(out,
+                 "      \"normalized\": {\"balance\": %.6f, \"nodes\": %.6f},\n",
+                 r.t_balance / mper, r.t_nodes / mper);
+    const forest::OpStats& o = r.ops;
+    std::fprintf(out,
+                 "      \"ops\": {\"balance_merge_passes\": %" PRId64
+                 ", \"balance_seed_octants\": %" PRId64 ", \"balance_closure_kept\": %" PRId64
+                 ", \"balance_octants_sent\": %" PRId64 ", \"balance_exchange_rounds\": %" PRId64
+                 ", \"balance_leaves_created\": %" PRId64 ", \"nodes_rounds\": %" PRId64
+                 ", \"nodes_request_batches\": %" PRId64 ", \"nodes_requests_sent\": %" PRId64
+                 ", \"ghost_octants_sent\": %" PRId64 ", \"ghost_interior_skipped\": %" PRId64
+                 "}\n",
+                 o.balance_merge_passes, o.balance_seed_octants, o.balance_closure_kept,
+                 o.balance_octants_sent, o.balance_exchange_rounds, o.balance_leaves_created,
+                 o.nodes_rounds, o.nodes_request_batches, o.nodes_requests_sent,
+                 o.ghost_octants_sent, o.ghost_interior_skipped);
+    std::fprintf(out, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t per_rank = argc > 1 ? std::atoll(argv[1]) : 6000;
+  std::int64_t per_rank = 6000;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      per_rank = std::atoll(argv[i]);
+    }
+  }
   std::printf("=== Fig. 4: weak scaling of the forest algorithms (rotcubes, fractal) ===\n");
   std::printf("paper: 12..220320 cores, 2.3M oct/core; Balance+Nodes > 90%% of runtime,\n");
   std::printf("       normalized Balance ~6->9 s/(M oct/rank) over a 18360x scale-up\n\n");
   std::printf("%6s %10s %9s | %6s %6s %6s %6s %6s %6s | %9s %9s\n", "ranks", "elements",
               "elem/rank", "New%", "Refin%", "Part%", "Bal%", "Ghost%", "Nodes%", "bal_norm",
               "nod_norm");
+  std::vector<Row> rows;
   std::vector<std::array<double, 2>> norms;
   for (const int p : {1, 2, 4, 8, 16}) {
     const Row r = run_case(p, per_rank);
+    rows.push_back(r);
     const double total =
         r.t_new + r.t_refine + r.t_partition + r.t_balance + r.t_ghost + r.t_nodes;
     const double mper = static_cast<double>(r.elements) / r.ranks / 1e6;
@@ -90,5 +161,6 @@ int main(int argc, char** argv) {
               100.0 * norms.front()[1] / norms.back()[1]);
   std::printf("(bal_norm / nod_norm = seconds per million octants per rank; ideal weak\n");
   std::printf(" scaling = constant columns, matching the paper's flat bars)\n");
+  if (json_path != nullptr) write_json(json_path, rows, per_rank);
   return 0;
 }

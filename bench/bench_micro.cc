@@ -2,11 +2,17 @@
 // primitives, the forest algorithms at fixed size, and the dG kernels —
 // including the double vs float elastic kernel ratio that stands in for the
 // paper's §IV-B GPU speedup discussion (a real ~50x needs a real GPU).
+// Usage: bench_micro [--json out.json] [google-benchmark flags]
+// --json is shorthand for --benchmark_out=<path> --benchmark_out_format=json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <random>
+#include <string>
 
 #include "forest/nodes.h"
+#include "forest/stats.h"
 #include "sfem/dg_advection.h"
 #include "sfem/dg_elastic.h"
 
@@ -40,6 +46,18 @@ void bm_morton_key(benchmark::State& state) {
 }
 BENCHMARK(bm_morton_key);
 
+/// SFC sort via the branchless comparator (no key materialization).
+void bm_morton_sort(benchmark::State& state) {
+  const auto octs = random_octants(4096);
+  for (auto _ : state) {
+    auto v = octs;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(bm_morton_sort);
+
 void bm_face_neighbors(benchmark::State& state) {
   const auto octs = random_octants(1024);
   for (auto _ : state) {
@@ -58,8 +76,10 @@ void bm_balance(benchmark::State& state) {
   const auto conn = forest::Connectivity<3>::rotcubes();
   const int depth = static_cast<int>(state.range(0));
   std::int64_t elements = 0;
+  forest::OpStats ops;
   for (auto _ : state) {
     par::run(1, [&](par::Comm& comm) {
+      forest::op_stats().reset();
       auto f = forest::Forest<3>::new_uniform(comm, &conn, 1);
       for (int l = 1; l < depth; ++l) {
         f.refine(l + 1, false, [&](int, const forest::Octant<3>& o) {
@@ -69,9 +89,13 @@ void bm_balance(benchmark::State& state) {
       }
       f.balance();
       elements = f.num_global();
+      ops = forest::op_stats();
     });
   }
   state.counters["elements"] = static_cast<double>(elements);
+  state.counters["merge_passes"] = static_cast<double>(ops.balance_merge_passes);
+  state.counters["seed_octants"] = static_cast<double>(ops.balance_seed_octants);
+  state.counters["leaves_created"] = static_cast<double>(ops.balance_leaves_created);
 }
 BENCHMARK(bm_balance)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
@@ -143,4 +167,25 @@ BENCHMARK(bm_elastic_rhs_float)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate --json <path> into the google-benchmark reporter flags.
+  std::vector<std::string> storage;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      storage.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (auto& s : storage) args.push_back(s.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,26 +2,51 @@
 // neighboring leaves — across faces, edges (3D), and corners, within trees
 // and across inter-tree connections via the connectivity transforms.
 //
-// Algorithm: iterated ripple balance. Every leaf emits same-level "shadow"
-// constraint octants into each of its 3^Dim - 1 neighbor directions (mapped
-// into neighboring trees where the position leaves the root domain). A
-// shadow at level l demands that any leaf overlapping it have level >= l-1;
-// too-coarse ancestors are refined, and the new children emit shadows of
-// their own until the local queue drains. Shadows whose region is (partly)
-// owned by other ranks are exchanged; rounds repeat until a global
-// fixed point (allreduce). Semantically identical to p4est's Balance —
-// chosen for clarity over p4est's single-pass optimization; correctness is
-// cross-checked against a brute-force validator in the tests.
+// Two implementations share this file:
+//
+//  * balance_single_pass (default): the production path. The 2:1 closure of
+//    the mesh is computed locally by level-bucket propagation: every leaf at
+//    level l seeds the insulation layer of its parent (the 3^Dim block of
+//    level-(l-1) octants centered on it, mapped into neighbor trees where it
+//    leaves the root). A bucket octant at level j is a constraint demanding
+//    that every leaf overlapping it end at level >= j. Buckets are processed
+//    finest to coarsest with a sort+unique merge per (tree, level); each
+//    surviving constraint propagates its own parent's insulation layer one
+//    level down. A constraint whose region is fully owned by this rank and
+//    already tiled by equal-or-finer leaves is pruned outright — the covering
+//    leaves' own seeds subsume its cascade — which keeps the closure linear
+//    in practice. Constraints overlapping foreign ranks are deduplicated and
+//    shipped in exactly ONE alltoallv: because each rank's local closure is
+//    transitively complete down to the coarsest level, received constraints
+//    never need re-propagation. A final recursive completion walks each leaf
+//    against the merged constraint set and emits its refined subtree directly
+//    in Morton order — no per-round erase/insert, no global re-sorts.
+//
+//  * balance_ripple (ESAMR_BALANCE_REFERENCE=1): the original iterated-ripple
+//    formulation, kept verbatim as a differential-testing oracle. Every leaf
+//    emits same-level "shadow" constraints into its 3^Dim - 1 neighbor
+//    directions; too-coarse ancestors are refined and the new children emit
+//    shadows of their own until the local queue drains; boundary shadows are
+//    exchanged and rounds repeat until a global fixed point (allreduce).
+//
+// Both reach the same fixed point bit-identically (asserted by the tests and,
+// octant for octant, by ESAMR_BALANCE_PARANOID=1, which follows the single
+// pass with a ripple round that must be a no-op).
+#include <algorithm>
+#include <cstdlib>
 #include <deque>
 #include <set>
+#include <stdexcept>
 
 #include "forest/forest.h"
+#include "forest/ghost.h"
+#include "forest/stats.h"
 
 namespace esamr::forest {
 
 namespace {
 
-/// A shadow constraint tagged with its tree.
+/// A shadow constraint tagged with its tree (reference ripple path).
 template <int Dim>
 struct Shadow {
   int tree;
@@ -33,12 +58,219 @@ struct Shadow {
   }
 };
 
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+
+/// Recursively subdivide N until every constraint in cs[js, je) — all strict
+/// descendants of N, sorted in SFC order — is matched by an equal-or-finer
+/// emitted octant; the completed subtree is appended in Morton order.
+template <int Dim>
+void complete_against(const Octant<Dim>& N, const Octant<Dim>* cs, std::size_t js, std::size_t je,
+                      std::vector<Octant<Dim>>& out) {
+  if (js == je) {
+    out.push_back(N);
+    return;
+  }
+  for (int i = 0; i < Topo<Dim>::num_children; ++i) {
+    const Octant<Dim> ch = N.child(i);
+    const Octant<Dim> last = ch.last_descendant(Octant<Dim>::max_level);
+    std::size_t ke = js;
+    while (ke < je && !(last < cs[ke])) ++ke;  // constraints inside ch
+    std::size_t ks = js;
+    while (ks < ke && cs[ks].level <= ch.level) ++ks;  // ch itself, if demanded
+    complete_against(ch, cs, ks, ke, out);
+    js = ke;
+  }
+}
+
 }  // namespace
 
 template <int Dim>
 void Forest<Dim>::balance() {
+  if (env_flag("ESAMR_BALANCE_REFERENCE")) {
+    balance_ripple();
+    return;
+  }
+  balance_single_pass();
+  if (env_flag("ESAMR_BALANCE_PARANOID")) {
+    const std::uint64_t sum = checksum();
+    const std::int64_t n = num_global();
+    balance_ripple();
+    if (checksum() != sum || num_global() != n) {
+      throw std::runtime_error(
+          "balance: paranoid check failed — a ripple round after the single "
+          "pass was not a no-op");
+    }
+  }
+}
+
+template <int Dim>
+void Forest<Dim>::balance_single_pass() {
   const int p = comm_->size();
   const int me = comm_->rank();
+  OpStats& ops = op_stats();
+  ops.balance_calls++;
+  const std::int64_t n_before = num_local();
+  const int nt = num_trees();
+
+  // Level buckets: bucket[t][l] holds constraint octants of tree t at level
+  // l, each demanding that every overlapping leaf end at level >= l.
+  std::vector<std::vector<std::vector<Oct>>> bucket(
+      static_cast<std::size_t>(nt),
+      std::vector<std::vector<Oct>>(static_cast<std::size_t>(Oct::max_level) + 1));
+  int top = 0;  // highest nonempty bucket level
+
+  // Insert the insulation layer of `par` (level par.level members, including
+  // par itself) into the buckets, mapping exterior members into their
+  // neighbor trees.
+  const auto insert_layer = [&](int t, const Oct& par) {
+    const auto l = static_cast<std::size_t>(par.level);
+    top = std::max(top, static_cast<int>(par.level));
+    for (int code = 0; code < Oct::num_insulation; ++code) {
+      const Oct n = par.insulation_neighbor(code);
+      if (n.inside_root()) {
+        bucket[static_cast<std::size_t>(t)][l].push_back(n);
+        ops.balance_seed_octants++;
+      } else {
+        for (const auto& [t2, img] : conn_->exterior_images(t, n)) {
+          bucket[static_cast<std::size_t>(t2)][l].push_back(img);
+          ops.balance_seed_octants++;
+        }
+      }
+    }
+  };
+
+  // Seed: one parent insulation layer per sibling family (siblings are
+  // adjacent in the sorted leaf array, so a one-deep memo deduplicates).
+  for (int t = 0; t < nt; ++t) {
+    Oct last_par;
+    bool have_par = false;
+    for (const Oct& o : trees_[static_cast<std::size_t>(t)]) {
+      if (o.level < 2) continue;  // the layer would demand level >= 0: vacuous
+      const Oct par = o.parent();
+      if (have_par && par == last_par) continue;
+      last_par = par;
+      have_par = true;
+      insert_layer(t, par);
+    }
+  }
+
+  // Propagate finest to coarsest. Every bucket is deduplicated by one
+  // sort+unique merge pass; surviving constraints are kept for the local
+  // completion, shipped to foreign owners, and cascade their parent's
+  // insulation layer one level down.
+  std::vector<std::vector<Oct>> cons(static_cast<std::size_t>(nt));
+  std::vector<std::vector<OctMsg>> send(static_cast<std::size_t>(p));
+  for (int l = top; l >= 1; --l) {
+    for (int t = 0; t < nt; ++t) {
+      auto& buf = bucket[static_cast<std::size_t>(t)][static_cast<std::size_t>(l)];
+      if (buf.empty()) continue;
+      ops.balance_merge_passes++;
+      std::sort(buf.begin(), buf.end());
+      buf.erase(std::unique(buf.begin(), buf.end()), buf.end());
+      const auto& leaves = trees_[static_cast<std::size_t>(t)];
+      Oct last_par;
+      bool have_par = false;
+      for (const Oct& b : buf) {
+        const int r0 = find_owner(t, b);
+        const int r1 = find_owner(t, b.last_descendant(Oct::max_level));
+        bool pruned = false;
+        if (r0 == me && r1 == me) {
+          // Fully local: the constraint binds iff a strictly coarser leaf
+          // contains b. Otherwise b's region is tiled by equal-or-finer
+          // leaves whose own seeds subsume its cascade — prune it outright.
+          const auto [lo, hi] = overlapping_range<Dim>(leaves, b);
+          if (hi - lo == 1 && leaves[lo].level < b.level && leaves[lo].contains(b)) {
+            cons[static_cast<std::size_t>(t)].push_back(b);
+            ops.balance_closure_kept++;
+          } else {
+            pruned = true;
+          }
+        } else {
+          for (int r = r0; r <= r1; ++r) {
+            if (r == me) continue;
+            send[static_cast<std::size_t>(r)].push_back(
+                OctMsg{t, b.x, b.y, Dim == 3 ? b.z : 0, b.level});
+          }
+          if (r0 <= me && me <= r1) {
+            cons[static_cast<std::size_t>(t)].push_back(b);
+            ops.balance_closure_kept++;
+          }
+        }
+        if (!pruned && b.level >= 2) {
+          const Oct par = b.parent();
+          if (!(have_par && par == last_par)) {
+            insert_layer(t, par);
+            last_par = par;
+            have_par = true;
+          }
+        }
+      }
+      buf.clear();
+      buf.shrink_to_fit();
+    }
+  }
+
+  // The one and only exchange: each rank's closure is transitively complete,
+  // so received constraints need no further propagation.
+  ops.balance_exchange_rounds++;
+  for (const auto& buf : send) {
+    ops.balance_octants_sent += static_cast<std::int64_t>(buf.size());
+  }
+  const auto recv = comm_->alltoallv(send);
+  for (const auto& from : recv) {
+    for (const OctMsg& m : from) {
+      ops.balance_octants_recv++;
+      Oct o;
+      o.x = m.x;
+      o.y = m.y;
+      if constexpr (Dim == 3) o.z = m.z;
+      o.level = static_cast<std::int8_t>(m.level);
+      cons[static_cast<std::size_t>(m.tree)].push_back(o);
+    }
+  }
+
+  // Completion: walk leaves and merged constraints in lockstep; every leaf
+  // with strict-descendant constraints is recursively completed against
+  // them, emitting its refined subtree directly in Morton order.
+  for (int t = 0; t < nt; ++t) {
+    auto& cs = cons[static_cast<std::size_t>(t)];
+    if (cs.empty()) continue;
+    std::sort(cs.begin(), cs.end());
+    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+    ops.balance_merge_passes++;
+    auto& leaves = trees_[static_cast<std::size_t>(t)];
+    std::vector<Oct> out;
+    out.reserve(leaves.size());
+    std::size_t j = 0;
+    const std::size_t nc = cs.size();
+    for (const Oct& L : leaves) {
+      while (j < nc && !(L < cs[j])) ++j;  // ancestors-of/equal-to L: satisfied
+      const Oct last = L.last_descendant(Oct::max_level);
+      std::size_t je = j;
+      while (je < nc && !(last < cs[je])) ++je;  // strict descendants of L
+      if (je == j) {
+        out.push_back(L);
+      } else {
+        complete_against<Dim>(L, cs.data(), j, je, out);
+      }
+      j = je;
+    }
+    leaves = std::move(out);
+  }
+  ops.balance_leaves_created += num_local() - n_before;
+  update_partition_meta();
+}
+
+template <int Dim>
+void Forest<Dim>::balance_ripple() {
+  const int p = comm_->size();
+  const int me = comm_->rank();
+  OpStats& ops = op_stats();
+  ops.balance_calls++;
+  const std::int64_t n_before = num_local();
 
   std::deque<Shadow<Dim>> queue;                     // constraints to enforce locally
   std::set<Shadow<Dim>> outgoing_seen;               // shadows already sent
@@ -111,10 +343,15 @@ void Forest<Dim>::balance() {
   for (;;) {
     const bool refined = drain();
     bool got_new = false;
+    ops.balance_exchange_rounds++;
+    for (const auto& buf : send) {
+      ops.balance_octants_sent += static_cast<std::int64_t>(buf.size());
+    }
     const auto recv = comm_->alltoallv(send);
     for (auto& buf : send) buf.clear();
     for (const auto& from : recv) {
       for (const OctMsg& m : from) {
+        ops.balance_octants_recv++;
         Oct o;
         o.x = m.x;
         o.y = m.y;
@@ -131,10 +368,60 @@ void Forest<Dim>::balance() {
                                      par::ReduceOp::logical_or);
     if (!any) break;
   }
+  ops.balance_leaves_created += num_local() - n_before;
   update_partition_meta();
+}
+
+template <int Dim>
+bool check_balanced(const Forest<Dim>& forest) {
+  using Oct = Octant<Dim>;
+  using T = Topo<Dim>;
+  const auto ghost = GhostLayer<Dim>::build(forest);
+  const auto dir = build_leaf_directory(forest, ghost);
+  const auto& conn = forest.conn();
+  bool ok = true;
+
+  // A leaf strictly containing the same-level neighbor `n` of a level-`lvl`
+  // leaf is adjacent to that leaf, so it must be at most one level coarser.
+  // Every known leaf overlapping n either contains it (the predecessor in
+  // SFC order, or an equal/descendant entry at the lower_bound itself) or
+  // lies inside it, in which case the symmetric visit from that finer leaf's
+  // rank performs the check.
+  const auto check_at = [&](int t2, const Oct& n, int lvl) {
+    const auto& list = dir[static_cast<std::size_t>(t2)];
+    auto it = std::lower_bound(list.begin(), list.end(), n,
+                               [](const LeafRef<Dim>& a, const Oct& b) { return a.oct < b; });
+    if (it != list.begin()) {
+      const auto& prev = *std::prev(it);
+      if (prev.oct.contains(n) && prev.oct.level < lvl - 1) ok = false;
+    }
+    if (it != list.end() && it->oct.contains(n) && it->oct.level < lvl - 1) ok = false;
+  };
+
+  forest.for_each_local([&](int t, const Oct& o) {
+    const auto place = [&](const Oct& n) {
+      if (n.inside_root()) {
+        check_at(t, n, o.level);
+      } else {
+        for (const auto& [t2, img] : conn.exterior_images(t, n)) check_at(t2, img, o.level);
+      }
+    };
+    for (int f = 0; f < T::num_faces; ++f) place(o.face_neighbor(f));
+    if constexpr (Dim == 3) {
+      for (int e = 0; e < T::num_edges; ++e) place(o.edge_neighbor(e));
+    }
+    for (int c = 0; c < T::num_corners; ++c) place(o.corner_neighbor(c));
+  });
+  return forest.comm().allreduce(static_cast<int>(ok), par::ReduceOp::logical_and) != 0;
 }
 
 template void Forest<2>::balance();
 template void Forest<3>::balance();
+template void Forest<2>::balance_single_pass();
+template void Forest<3>::balance_single_pass();
+template void Forest<2>::balance_ripple();
+template void Forest<3>::balance_ripple();
+template bool check_balanced<2>(const Forest<2>&);
+template bool check_balanced<3>(const Forest<3>&);
 
 }  // namespace esamr::forest

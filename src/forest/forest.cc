@@ -133,6 +133,30 @@ int Forest<Dim>::find_owner(int tree_id, const Oct& o) const {
 }
 
 template <int Dim>
+bool Forest<Dim>::owns_insulation(int tree_id, const Oct& o) const {
+  const std::int32_t h = o.size();
+  bool interior = o.x >= h && o.x + 2 * h <= Oct::root_len &&
+                  o.y >= h && o.y + 2 * h <= Oct::root_len;
+  if constexpr (Dim == 3) interior = interior && o.z >= h && o.z + 2 * h <= Oct::root_len;
+  if (!interior) return false;
+  // The Morton key is monotone per coordinate, so the 3^Dim same-size block
+  // around `o` spans the SFC range [key(lo corner cell), key(hi corner
+  // cell's last descendant)]: two owner lookups bound every candidate owner.
+  Oct lo = o, hi = o;
+  lo.x -= h;
+  lo.y -= h;
+  hi.x += h;
+  hi.y += h;
+  if constexpr (Dim == 3) {
+    lo.z -= h;
+    hi.z += h;
+  }
+  const int me = comm_->rank();
+  return find_owner(tree_id, lo) == me &&
+         find_owner(tree_id, hi.last_descendant(Oct::max_level)) == me;
+}
+
+template <int Dim>
 bool Forest<Dim>::overlaps_local(int tree_id, const Oct& o) const {
   const auto& leaves = trees_[static_cast<std::size_t>(tree_id)];
   const auto [lo, hi] = overlapping_range(leaves, o);

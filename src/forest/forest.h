@@ -113,13 +113,36 @@ class Forest {
 
   /// "Balance": establish the 2:1 size condition between all neighboring
   /// leaves — across faces, edges (3D), and corners, including neighbors in
-  /// other trees via the connectivity transforms. Iterated ripple algorithm;
-  /// terminates on a global fixed point.
+  /// other trees via the connectivity transforms.
+  ///
+  /// Default path: the single-pass scheme (balance_single_pass). Setting
+  /// ESAMR_BALANCE_REFERENCE=1 selects the original iterated-ripple
+  /// formulation instead (kept as a differential-testing oracle);
+  /// ESAMR_BALANCE_PARANOID=1 runs the single pass and then asserts a ripple
+  /// round is a no-op (throws std::runtime_error otherwise).
   void balance();
+
+  /// Single-pass 2:1 balance: local closure by level-bucket propagation of
+  /// parent insulation layers over the Morton-sorted leaf arrays, exactly one
+  /// inter-rank exchange of the deduplicated boundary constraint set, then a
+  /// local recursive completion of every leaf against the merged constraints.
+  void balance_single_pass();
+
+  /// Reference iterated-ripple balance (the seed formulation): emit
+  /// same-level shadows, drain/refine to a local fixed point, exchange, and
+  /// repeat until a global fixed point. Identical result, higher constant.
+  void balance_ripple();
 
   /// Rank owning the SFC position of `o`'s first descendant. `o` must be
   /// inside its tree's root.
   int find_owner(int tree_id, const Oct& o) const;
+
+  /// True if `o` lies strictly inside its tree (no insulation octant leaves
+  /// the root) and this rank owns the full same-level insulation
+  /// neighborhood of `o` (the 3^Dim block centered on it). Such a leaf can
+  /// influence no other rank: Balance prunes its constraints locally and
+  /// Ghost skips it without any per-direction owner queries.
+  bool owns_insulation(int tree_id, const Oct& o) const;
 
   /// True if some local leaf equals `o` or is an ancestor/descendant of it
   /// (i.e. this rank's storage overlaps the region of `o`).
@@ -165,6 +188,16 @@ class Forest {
   std::vector<std::int64_t> counts_;    // per-rank octant counts
   std::vector<SfcPosition> markers_;    // per-rank first-octant positions
 };
+
+/// Collective balance-invariant checker: walks every local leaf's face, edge
+/// (3D), and corner neighbors — across tree junctions via the connectivity
+/// transforms — against the local + ghost leaf directory and verifies the
+/// 2:1 level condition. Returns the same verdict on all ranks.
+template <int Dim>
+bool check_balanced(const Forest<Dim>& forest);
+
+extern template bool check_balanced<2>(const Forest<2>&);
+extern template bool check_balanced<3>(const Forest<3>&);
 
 /// Indices [first, last) of leaves in a sorted leaf array whose regions
 /// overlap octant `n` (descendants/equal, or the single containing ancestor).

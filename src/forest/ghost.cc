@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "forest/stats.h"
+
 namespace esamr::forest {
 
 namespace {
@@ -57,6 +59,15 @@ GhostLayer<Dim> GhostLayer<Dim>::build(const Forest<Dim>& forest, int layers) {
   std::int32_t li = 0;  // local element index in SFC enumeration
   std::vector<int> targets;
   forest.for_each_local([&](int t, const Oct& o) {
+    if (layers == 1 && forest.owns_insulation(t, o)) {
+      // Interior fast path: the whole same-size insulation block around o is
+      // local, so no direction can reach another rank — skip the
+      // per-direction owner queries (the Balance closure pruned such leaves
+      // by the same criterion).
+      op_stats().ghost_interior_skipped++;
+      ++li;
+      return;
+    }
     targets.clear();
     const auto handle = [&](int t2, const Oct& n, const Pins& pins) {
       collect_owners(forest, t2, n, pins, targets);
@@ -162,6 +173,9 @@ GhostLayer<Dim> GhostLayer<Dim>::build(const Forest<Dim>& forest, int layers) {
   });
   (void)mirror_of;
 
+  for (const auto& buf : send) {
+    op_stats().ghost_octants_sent += static_cast<std::int64_t>(buf.size());
+  }
   const auto recv = comm.alltoallv(send);
   layer.rank_offset.assign(static_cast<std::size_t>(p) + 1, 0);
   for (int r = 0; r < p; ++r) {

@@ -1,15 +1,39 @@
+// "Nodes" (paper §II-C): build the globally unique numbering of independent
+// node points and the hanging-node constraint expansions.
+//
+// Two protocols share this file:
+//
+//  * the batched protocol (default): classification and gid assignment are
+//    identical to the reference, but resolution is a memoized recursive
+//    expansion instead of a global fixed-point rescan, hash maps replace the
+//    ordered std::map hot paths, and each answer ships the answering rank's
+//    FULL transitive expansion (gids attached wherever known) rather than a
+//    single hop. Candidate owners come from the post-balance ghost layer, so
+//    in the common case everything is settled in one request batch and one
+//    answer batch; only constraint chains that cross three or more ranks
+//    (rare, measured by OpStats::nodes_rounds) need another round. The loop
+//    is allreduce-terminated with the same 64-round safety cap.
+//
+//  * the reference protocol (ESAMR_NODES_REFERENCE=1): the original
+//    formulation — iterative rounds over a `want` set re-scanned to a local
+//    fixed point, one-hop answers — kept as a differential-testing oracle.
 #include "forest/nodes.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "forest/stats.h"
 
 namespace esamr::forest {
 
 namespace {
 
-/// Request/answer payloads for the id-resolution rounds.
+/// Request payload (a canonical node key).
 struct KeyMsg {
   std::int32_t tree, x, y, z;
 };
@@ -27,6 +51,11 @@ struct AnsMsg {
   std::int32_t ask[4];
 };
 
+/// Answer record kinds of the batched protocol (serialized int64 stream).
+constexpr std::int64_t kRecExpansion = 0;  // n x (gid, weight bits, key)
+constexpr std::int64_t kRecOwner = 1;      // node independent; re-ask owner
+constexpr std::int64_t kRecMasters = 2;    // n x (key, ask rank)
+
 /// Local classification of a node point.
 template <int Dim>
 struct Classification {
@@ -36,49 +65,136 @@ struct Classification {
   std::vector<int> ask;                                      // rank to ask per master
 };
 
-}  // namespace
+struct KeyHash {
+  std::size_t operator()(const std::array<std::int32_t, 4>& k) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const std::int32_t v : k) {
+      h ^= static_cast<std::uint32_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
 
+/// Shared geometric machinery: leaf lookup, frame/canonical key logic, and
+/// the point classification rule (paper Fig. 3): a point is independent iff
+/// it is a corner of every touching leaf; its owner is the minimum touching
+/// rank; a hanging point's masters are the corners of the face/edge of the
+/// coarsest incidence for which it is not a corner.
 template <int Dim>
-NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
-                                             const GhostLayer<Dim>& ghost) {
+struct NodeClassifier {
   using Oct = Octant<Dim>;
   using T = Topo<Dim>;
+  using Key = typename NodeNumbering<Dim>::Key;
   using Cls = Classification<Dim>;
-  constexpr int nc = T::num_corners;
-  par::Comm& comm = forest.comm();
-  const Connectivity<Dim>& conn = forest.conn();
-  const int p = comm.size();
-  const int me = comm.rank();
 
-  const auto dir = build_leaf_directory(forest, ghost);
+  const Connectivity<Dim>& conn;
+  std::vector<std::vector<LeafRef<Dim>>> dir;
+  int nranks;
+  // Recently-hit directory positions, move-to-front. The 2^Dim x 2^Dim
+  // quadrant queries issued for one element's corners revisit the same
+  // handful of neighborhood leaves, but in Morton order those leaves are
+  // scattered across the array — a single last-hit hint misses most of them
+  // while a small LRU catches nearly all. Safe under the thread-per-rank
+  // model because each rank builds its own classifier.
+  static constexpr int kLru = 8;
+  mutable std::array<std::int32_t, kLru> lru{};
+  mutable int lru_tree = -1;
+  mutable std::vector<std::size_t> seed;  // per-tree cursor for seed_hint
 
-  // Find the known leaf containing a (max-level) cell, or nullptr.
-  const auto find_leaf = [&](int t, const Oct& cell) -> const LeafRef<Dim>* {
+  NodeClassifier(const Forest<Dim>& forest, const GhostLayer<Dim>& ghost)
+      : conn(forest.conn()),
+        dir(build_leaf_directory(forest, ghost)),
+        nranks(forest.comm().size()),
+        seed(dir.size(), 0) {
+    lru.fill(-1);
+  }
+
+  /// True iff the point lies strictly inside the tree's root cube, i.e. on no
+  /// macro face/edge/corner — then it has no images in other tree frames.
+  static bool tree_interior(const std::array<std::int32_t, 3>& pt) {
+    for (int a = 0; a < Dim; ++a) {
+      if (pt[static_cast<std::size_t>(a)] <= 0 ||
+          pt[static_cast<std::size_t>(a)] >= Oct::root_len) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Find the known leaf containing a (max-level) cell, or nullptr.
+  const LeafRef<Dim>* find_leaf(int t, const Oct& cell) const {
     const auto& v = dir[static_cast<std::size_t>(t)];
+    if (t != lru_tree) {
+      lru.fill(-1);
+      lru_tree = t;
+    }
+    for (int i = 0; i < kLru; ++i) {
+      const std::int32_t idx = lru[static_cast<std::size_t>(i)];
+      if (idx < 0) break;
+      if (v[static_cast<std::size_t>(idx)].oct.contains(cell)) {
+        for (int j = i; j > 0; --j) {
+          lru[static_cast<std::size_t>(j)] = lru[static_cast<std::size_t>(j - 1)];
+        }
+        lru[0] = idx;
+        return &v[static_cast<std::size_t>(idx)];
+      }
+    }
     const auto it = std::upper_bound(
         v.begin(), v.end(), cell,
         [](const Oct& a, const LeafRef<Dim>& b) { return a < b.oct; });
     if (it == v.begin()) return nullptr;
     const LeafRef<Dim>* cand = &*(it - 1);
-    return cand->oct.contains(cell) ? cand : nullptr;
-  };
+    if (!cand->oct.contains(cell)) return nullptr;
+    for (int j = kLru - 1; j > 0; --j) {
+      lru[static_cast<std::size_t>(j)] = lru[static_cast<std::size_t>(j - 1)];
+    }
+    lru[0] = static_cast<std::int32_t>(cand - v.data());
+    return cand;
+  }
 
-  // All frame representations of a point: (tree, point), self first.
-  const auto frames = [&](int t, std::array<std::int32_t, 3> pt) {
+  /// Prime the leaf memo with a local element known to be in the directory
+  /// (amortized O(1) when elements are visited in SFC order).
+  void seed_hint(int t, const Oct& o) const {
+    const auto& v = dir[static_cast<std::size_t>(t)];
+    std::size_t& cur = seed[static_cast<std::size_t>(t)];
+    if (cur >= v.size() || !(v[cur].oct == o)) {
+      if (cur < v.size() && v[cur].oct < o) {
+        while (!(v[cur].oct == o)) ++cur;  // forward scan past ghosts
+      } else {
+        cur = static_cast<std::size_t>(
+            std::lower_bound(v.begin(), v.end(), o,
+                             [](const LeafRef<Dim>& a, const Oct& b) { return a.oct < b; }) -
+            v.begin());
+      }
+    }
+    if (t != lru_tree) {
+      lru.fill(-1);
+      lru_tree = t;
+    }
+    for (int j = kLru - 1; j > 0; --j) {
+      lru[static_cast<std::size_t>(j)] = lru[static_cast<std::size_t>(j - 1)];
+    }
+    lru[0] = static_cast<std::int32_t>(cur);
+  }
+
+  /// All frame representations of a point: (tree, point), self first.
+  std::vector<std::pair<int, std::array<std::int32_t, 3>>> frames(
+      int t, std::array<std::int32_t, 3> pt) const {
     std::vector<std::pair<int, std::array<std::int32_t, 3>>> fr;
     fr.emplace_back(t, pt);
     for (const auto& im : conn.point_images(t, pt)) fr.push_back(im);
     return fr;
-  };
+  }
 
-  const auto canonical = [&](int t, std::array<std::int32_t, 3> pt) -> Key {
+  Key canonical(int t, std::array<std::int32_t, 3> pt) const {
+    if (tree_interior(pt)) return Key{t, pt[0], pt[1], pt[2]};  // sole frame
     auto fr = frames(t, pt);
     std::sort(fr.begin(), fr.end());
     const auto& [ct, cp] = fr.front();
     return Key{ct, cp[0], cp[1], cp[2]};
-  };
+  }
 
-  // One incidence of a leaf at the node point, in some tree frame.
+  /// One incidence of a leaf at the node point, in some tree frame.
   struct Touch {
     int tree;
     Oct oct;
@@ -87,13 +203,17 @@ NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
     bool corner;                     // point is a corner of the leaf
   };
 
-  // Classify the node point (t, pt). The caller guarantees the point is a
-  // corner of one of this rank's local elements, so every touching leaf is
-  // known locally (local or ghost).
-  const auto classify = [&](int t, std::array<std::int32_t, 3> pt) -> Cls {
-    std::vector<Touch> touching;
-    for (const auto& [ft, fp] : frames(t, pt)) {
-      for (int q = 0; q < nc; ++q) {
+  /// Classify the node point (t, pt). The caller guarantees the point is a
+  /// corner of one of this rank's local elements, so every touching leaf is
+  /// known locally (local or ghost).
+  Cls classify(int t, std::array<std::int32_t, 3> pt) const {
+    // Inline buffer: frames x quadrants incidences, no heap traffic on the
+    // (dominant) interior path. Macro-corner valence is small in practice;
+    // overflow fails loudly rather than silently truncating.
+    std::array<Touch, 64> touching;
+    std::size_t ntouch = 0;
+    const auto visit_frame = [&](int ft, const std::array<std::int32_t, 3>& fp) {
+      for (int q = 0; q < T::num_corners; ++q) {
         // The finest-level cell adjacent to the point in quadrant q.
         Oct cell;
         cell.level = Oct::max_level;
@@ -115,24 +235,36 @@ NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
         }
         Touch tc{ft, leaf->oct, leaf->owner, fp, is_corner};
         bool dup = false;
-        for (const Touch& x : touching) {
-          if (x.tree == tc.tree && x.oct == tc.oct && x.pt == tc.pt) dup = true;
+        for (std::size_t x = 0; x < ntouch; ++x) {
+          const Touch& tx = touching[x];
+          if (tx.tree == tc.tree && tx.oct == tc.oct && tx.pt == tc.pt) dup = true;
         }
-        if (!dup) touching.push_back(tc);
+        if (!dup) {
+          if (ntouch == touching.size()) {
+            throw std::runtime_error("nodes: corner valence exceeds touch buffer");
+          }
+          touching[ntouch++] = tc;
+        }
       }
+    };
+    if (tree_interior(pt)) {
+      visit_frame(t, pt);  // interior: no images, skip the frames machinery
+    } else {
+      for (const auto& [ft, fp] : frames(t, pt)) visit_frame(ft, fp);
     }
     Cls cls;
     cls.independent = true;
-    cls.owner = p;
-    for (const Touch& tc : touching) {
-      cls.owner = std::min(cls.owner, tc.owner);
-      if (!tc.corner) cls.independent = false;
+    cls.owner = nranks;
+    for (std::size_t x = 0; x < ntouch; ++x) {
+      cls.owner = std::min(cls.owner, touching[x].owner);
+      if (!touching[x].corner) cls.independent = false;
     }
     if (cls.independent) return cls;
     // Dependent: the constraining entity is the face/edge of the coarsest
     // incidence for which the point is not a corner.
     const Touch* best = nullptr;
-    for (const Touch& tc : touching) {
+    for (std::size_t x = 0; x < ntouch; ++x) {
+      const Touch& tc = touching[x];
       if (!tc.corner && (best == nullptr || tc.oct.level < best->oct.level)) best = &tc;
     }
     const std::int32_t h = best->oct.size();
@@ -156,7 +288,397 @@ NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
       cls.ask.push_back(best->owner);
     }
     return cls;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Batched protocol (default).
+// ---------------------------------------------------------------------------
+
+/// Open-addressed hash table unifying the classification and resolution state
+/// of a node key. One probe serves what the reference protocol pays two
+/// ordered-map lookups for (classified + resolved), entries live in a flat
+/// vector (indices stay valid across growth), and element corners cache their
+/// entry index from pass 1 so the resolution scan and the final fill do no
+/// hashing at all.
+template <int Dim>
+struct NodeTable {
+  using Key = typename NodeNumbering<Dim>::Key;
+  using Contrib = typename NodeNumbering<Dim>::Contrib;
+
+  struct Entry {
+    Key key;
+    Classification<Dim> cls;    // valid iff `classified`
+    std::vector<Contrib> res;   // expansion onto independent gids; empty = unresolved
+    bool classified = false;
   };
+
+  std::vector<std::int32_t> slot;  // power-of-two probe table, -1 = empty
+  std::vector<Entry> entries;
+  std::size_t mask = 0;
+
+  explicit NodeTable(std::size_t expect) {
+    std::size_t cap = 64;
+    while (cap < expect * 3) cap <<= 1;
+    slot.assign(cap, -1);
+    mask = cap - 1;
+    entries.reserve(expect);
+  }
+
+  std::size_t probe(const Key& k) const {
+    std::size_t i = KeyHash{}(k) & mask;
+    while (slot[i] >= 0 && entries[static_cast<std::size_t>(slot[i])].key != k) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  /// Entry index of `k`, or -1.
+  std::int32_t find(const Key& k) const { return slot[probe(k)]; }
+
+  /// Entry index of `k`, inserting an unclassified, unresolved entry if new.
+  std::int32_t get_or_insert(const Key& k) {
+    std::size_t i = probe(k);
+    if (slot[i] >= 0) return slot[i];
+    if ((entries.size() + 1) * 3 > slot.size() * 2) {
+      slot.assign(slot.size() * 2, -1);
+      mask = slot.size() - 1;
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        std::size_t j = KeyHash{}(entries[e].key) & mask;
+        while (slot[j] >= 0) j = (j + 1) & mask;
+        slot[j] = static_cast<std::int32_t>(e);
+      }
+      i = probe(k);
+    }
+    const auto idx = static_cast<std::int32_t>(entries.size());
+    slot[i] = idx;
+    entries.push_back(Entry{k, {}, {}, false});
+    return idx;
+  }
+};
+
+template <int Dim>
+static NodeNumbering<Dim> build_batched(const Forest<Dim>& forest, const GhostLayer<Dim>& ghost) {
+  using Oct = Octant<Dim>;
+  using T = Topo<Dim>;
+  using Key = typename NodeNumbering<Dim>::Key;
+  using Contrib = typename NodeNumbering<Dim>::Contrib;
+  constexpr int nc = T::num_corners;
+  par::Comm& comm = forest.comm();
+  const int p = comm.size();
+  const int me = comm.rank();
+  OpStats& ops = op_stats();
+
+  const NodeClassifier<Dim> nclass(forest, ghost);
+
+  // --- Pass 1: classify all corners of local elements ------------------------
+  const auto n_local = static_cast<std::size_t>(forest.num_local());
+  NodeTable<Dim> tab(n_local * 2);
+  std::vector<std::array<std::int32_t, nc>> elem_ent(n_local);  // entry index per corner
+  // Direct-mapped front cache for the 2^Dim-fold corner reuse between
+  // SFC-adjacent elements: a hit costs one L2 touch instead of a probe walk
+  // through the (much larger) table and entry arrays.
+  constexpr std::size_t kCacheBits = 15;
+  std::vector<std::pair<Key, std::int32_t>> front(std::size_t{1} << kCacheBits,
+                                                  {Key{-1, -1, -1, -1}, -1});
+  std::size_t li = 0;
+  forest.for_each_local([&](int t, const Oct& o) {
+    nclass.seed_hint(t, o);
+    for (int c = 0; c < nc; ++c) {
+      const auto cp = o.corner_point(c);
+      const Key k = nclass.canonical(t, cp);
+      auto& line = front[KeyHash{}(k) & ((std::size_t{1} << kCacheBits) - 1)];
+      std::int32_t ei;
+      if (line.first == k) {
+        ei = line.second;
+      } else {
+        ei = tab.get_or_insert(k);
+        line = {k, ei};
+        auto& e = tab.entries[static_cast<std::size_t>(ei)];
+        if (!e.classified) {
+          e.cls = nclass.classify(t, cp);
+          e.classified = true;
+        }
+      }
+      elem_ent[li][static_cast<std::size_t>(c)] = ei;
+    }
+    ++li;
+  });
+
+  // Entries added after this point are masters/answers, not element corners.
+  const std::size_t n_pass1 = tab.entries.size();
+
+  // --- Assign ids to owned independent nodes (before any resolution, so
+  // answers can carry gids) --------------------------------------------------
+  NodeNumbering<Dim> out;
+  std::vector<std::pair<std::int64_t, Key>> known_gid_keys;  // owned or fetched
+  std::unordered_map<std::int64_t, Key> key_of_gid;          // for expansion answers
+  std::vector<std::pair<Key, std::int32_t>> owned;  // (key, entry) to skip re-probing
+  for (std::size_t i = 0; i < n_pass1; ++i) {
+    const auto& e = tab.entries[i];
+    if (e.classified && e.cls.independent && e.cls.owner == me) {
+      owned.emplace_back(e.key, static_cast<std::int32_t>(i));
+    }
+  }
+  std::sort(owned.begin(), owned.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.owned_keys.reserve(owned.size());
+  for (const auto& [k, ei] : owned) out.owned_keys.push_back(k);
+  out.num_owned = static_cast<std::int64_t>(out.owned_keys.size());
+  const auto counts = comm.allgather(out.num_owned);
+  out.rank_offsets.assign(static_cast<std::size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) {
+    out.rank_offsets[static_cast<std::size_t>(r) + 1] =
+        out.rank_offsets[static_cast<std::size_t>(r)] + counts[static_cast<std::size_t>(r)];
+  }
+  out.owned_offset = out.rank_offsets[static_cast<std::size_t>(me)];
+  out.num_global = out.rank_offsets[static_cast<std::size_t>(p)];
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    const std::int64_t g = out.owned_offset + static_cast<std::int64_t>(i);
+    auto& e = tab.entries[static_cast<std::size_t>(owned[i].second)];
+    e.res.assign(1, Contrib{g, 1.0});
+    known_gid_keys.emplace_back(g, owned[i].first);
+    key_of_gid.emplace(g, owned[i].first);
+  }
+
+  // --- Resolution -------------------------------------------------------------
+  std::set<std::pair<Key, int>> asked;
+  std::vector<std::vector<KeyMsg>> req(static_cast<std::size_t>(p));
+
+  // Memoized recursive expansion onto independent gids. Constraint chains are
+  // acyclic (the constraining entity's level strictly decreases), so plain
+  // recursion terminates. On a miss, `collect` routes one request to the rank
+  // that can advance the chain: the owner for an independent key, the rank
+  // that classified the constraining leaf (`hint`) for an unclassified one.
+  // Entries may grow during recursion, so state is re-fetched by index after
+  // every recursive call.
+  const auto expand = [&](auto&& self, std::int32_t ei, int hint, bool collect) -> bool {
+    if (!tab.entries[static_cast<std::size_t>(ei)].res.empty()) return true;
+    const auto note = [&](int target) {
+      if (!collect) return;
+      if (target < 0) throw std::runtime_error("nodes: unclassified key without hint");
+      const Key& k = tab.entries[static_cast<std::size_t>(ei)].key;
+      if (asked.insert({k, target}).second) {
+        req[static_cast<std::size_t>(target)].push_back(KeyMsg{k[0], k[1], k[2], k[3]});
+      }
+    };
+    {
+      const auto& e = tab.entries[static_cast<std::size_t>(ei)];
+      if (!e.classified) {
+        note(hint);
+        return false;
+      }
+      if (e.cls.independent) {
+        note(e.cls.owner);  // gid not yet fetched from the owner
+        return false;
+      }
+    }
+    // Dependent: masters are copied out first — the recursive calls below may
+    // insert entries and reallocate the entry vector.
+    std::array<Key, 4> masters;
+    std::array<int, 4> ask{};
+    std::size_t nm;
+    {
+      const auto& cls = tab.entries[static_cast<std::size_t>(ei)].cls;
+      nm = cls.masters.size();
+      for (std::size_t i = 0; i < nm; ++i) {
+        masters[i] = cls.masters[i];
+        ask[i] = cls.ask[i];
+      }
+    }
+    bool all = true;
+    std::array<std::int32_t, 4> mi;
+    for (std::size_t i = 0; i < nm; ++i) {
+      mi[i] = tab.get_or_insert(masters[i]);
+      if (!self(self, mi[i], ask[i], collect)) all = false;
+    }
+    if (!all) return false;
+    // Flat accumulation (a handful of masters x contribs); sorted by gid to
+    // match the reference protocol's std::map ordering exactly.
+    std::vector<Contrib> v;
+    const double w = 1.0 / static_cast<double>(nm);
+    for (std::size_t i = 0; i < nm; ++i) {
+      for (const Contrib& c : tab.entries[static_cast<std::size_t>(mi[i])].res) {
+        bool found = false;
+        for (Contrib& x : v) {
+          if (x.gid == c.gid) {
+            x.weight += w * c.weight;
+            found = true;
+            break;
+          }
+        }
+        if (!found) v.push_back(Contrib{c.gid, w * c.weight});
+      }
+    }
+    std::sort(v.begin(), v.end(), [](const Contrib& a, const Contrib& b) { return a.gid < b.gid; });
+    tab.entries[static_cast<std::size_t>(ei)].res = std::move(v);
+    return true;
+  };
+
+  // Round 0 walks each distinct pass-1 entry once (every element corner maps
+  // to one); later rounds only the still-pending entries (the frontier), so
+  // local-only regions are scanned exactly once.
+  std::vector<std::int32_t> pending;
+  for (int round = 0;; ++round) {
+    if (round > 64) throw std::runtime_error("nodes: resolution did not converge");
+    std::vector<std::int32_t> still;
+    if (round == 0) {
+      for (std::size_t i = 0; i < n_pass1; ++i) {
+        const auto ei = static_cast<std::int32_t>(i);
+        if (!expand(expand, ei, -1, true)) still.push_back(ei);
+      }
+    } else {
+      for (const std::int32_t ei : pending) {
+        if (!expand(expand, ei, -1, true)) still.push_back(ei);
+      }
+    }
+    pending = std::move(still);
+    const int any =
+        comm.allreduce(static_cast<int>(!pending.empty()), par::ReduceOp::logical_or);
+    if (!any) break;
+
+    ops.nodes_rounds++;
+    for (const auto& buf : req) {
+      if (buf.empty()) continue;
+      ops.nodes_request_batches++;
+      ops.nodes_requests_sent += static_cast<std::int64_t>(buf.size());
+    }
+    const auto req_in = comm.alltoallv(req);
+    for (auto& buf : req) buf.clear();
+
+    // Answer every incoming request with the deepest local knowledge: the
+    // full transitive expansion when it closes over known gids, otherwise
+    // the direct masters (or the owner to re-ask) so the requester can route
+    // the next hop precisely.
+    std::vector<std::vector<std::int64_t>> ans(static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      auto& buf = ans[static_cast<std::size_t>(src)];
+      for (const KeyMsg& km : req_in[static_cast<std::size_t>(src)]) {
+        const Key k{km.tree, km.x, km.y, km.z};
+        const std::int32_t ei = tab.find(k);
+        if (ei < 0 || !tab.entries[static_cast<std::size_t>(ei)].classified) {
+          throw std::runtime_error("nodes: request for a key this rank never classified");
+        }
+        buf.insert(buf.end(), {km.tree, km.x, km.y, km.z});
+        if (expand(expand, ei, -1, false)) {
+          const auto& v = tab.entries[static_cast<std::size_t>(ei)].res;
+          buf.push_back(kRecExpansion);
+          buf.push_back(static_cast<std::int64_t>(v.size()));
+          for (const Contrib& c : v) {
+            const Key& ck = key_of_gid.at(c.gid);
+            buf.insert(buf.end(),
+                       {c.gid, std::bit_cast<std::int64_t>(c.weight), ck[0], ck[1], ck[2], ck[3]});
+          }
+        } else {
+          const auto& cls = tab.entries[static_cast<std::size_t>(ei)].cls;
+          if (cls.independent) {
+            buf.push_back(kRecOwner);
+            buf.push_back(cls.owner);
+          } else {
+            buf.push_back(kRecMasters);
+            buf.push_back(static_cast<std::int64_t>(cls.masters.size()));
+            for (std::size_t i = 0; i < cls.masters.size(); ++i) {
+              const Key& m = cls.masters[i];
+              buf.insert(buf.end(), {m[0], m[1], m[2], m[3], cls.ask[i]});
+            }
+          }
+        }
+      }
+    }
+    const auto ans_in = comm.alltoallv(ans);
+    for (const auto& from : ans_in) {
+      for (std::size_t i = 0; i < from.size();) {
+        const Key k{static_cast<std::int32_t>(from[i]), static_cast<std::int32_t>(from[i + 1]),
+                    static_cast<std::int32_t>(from[i + 2]), static_cast<std::int32_t>(from[i + 3])};
+        const std::int64_t kind = from[i + 4];
+        const std::int64_t n = from[i + 5];
+        i += 6;
+        ops.nodes_answers_recv++;
+        const std::int32_t ei = tab.get_or_insert(k);
+        if (kind == kRecExpansion) {
+          std::vector<Contrib> v;
+          v.reserve(static_cast<std::size_t>(n));
+          for (std::int64_t e = 0; e < n; ++e) {
+            const std::int64_t gid = from[i];
+            const double w = std::bit_cast<double>(from[i + 1]);
+            const Key ck{static_cast<std::int32_t>(from[i + 2]),
+                         static_cast<std::int32_t>(from[i + 3]),
+                         static_cast<std::int32_t>(from[i + 4]),
+                         static_cast<std::int32_t>(from[i + 5])};
+            i += 6;
+            v.push_back(Contrib{gid, w});
+            // Record the member gid's key, and let other chains resolve
+            // through it without a second fetch.
+            const std::int32_t ci = tab.get_or_insert(ck);
+            auto& ce = tab.entries[static_cast<std::size_t>(ci)];
+            if (ce.res.empty()) ce.res.assign(1, Contrib{gid, 1.0});
+            known_gid_keys.emplace_back(gid, ck);
+            key_of_gid.emplace(gid, ck);
+          }
+          tab.entries[static_cast<std::size_t>(ei)].res = std::move(v);
+        } else if (kind == kRecOwner) {
+          auto& e = tab.entries[static_cast<std::size_t>(ei)];
+          e.cls = Classification<Dim>{};
+          e.cls.independent = true;
+          e.cls.owner = static_cast<int>(n);  // owner rides in the count slot
+          e.classified = true;
+        } else {
+          auto& e = tab.entries[static_cast<std::size_t>(ei)];
+          e.cls = Classification<Dim>{};
+          e.cls.independent = false;
+          for (std::int64_t rec = 0; rec < n; ++rec) {
+            e.cls.masters.push_back(Key{static_cast<std::int32_t>(from[i]),
+                                        static_cast<std::int32_t>(from[i + 1]),
+                                        static_cast<std::int32_t>(from[i + 2]),
+                                        static_cast<std::int32_t>(from[i + 3])});
+            e.cls.ask.push_back(static_cast<int>(from[i + 4]));
+            i += 5;
+          }
+          e.classified = true;
+        }
+      }
+    }
+  }
+
+  // --- Fill per-element slots (entry indices cached from pass 1) --------------
+  out.elements.resize(n_local);
+  for (std::size_t e = 0; e < n_local; ++e) {
+    for (int c = 0; c < nc; ++c) {
+      out.elements[e][static_cast<std::size_t>(c)] =
+          tab.entries[static_cast<std::size_t>(elem_ent[e][static_cast<std::size_t>(c)])].res;
+    }
+  }
+  // The gid -> key records accumulated above (owned + fetched), deduplicated.
+  std::sort(known_gid_keys.begin(), known_gid_keys.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  known_gid_keys.erase(std::unique(known_gid_keys.begin(), known_gid_keys.end(),
+                                   [](const auto& a, const auto& b) { return a.first == b.first; }),
+                       known_gid_keys.end());
+  out.gid_keys = std::move(known_gid_keys);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reference protocol (ESAMR_NODES_REFERENCE=1): the original iterative
+// formulation, kept as a differential-testing oracle.
+// ---------------------------------------------------------------------------
+template <int Dim>
+static NodeNumbering<Dim> build_reference(const Forest<Dim>& forest,
+                                          const GhostLayer<Dim>& ghost) {
+  using Oct = Octant<Dim>;
+  using T = Topo<Dim>;
+  using Key = typename NodeNumbering<Dim>::Key;
+  using Cls = Classification<Dim>;
+  using Contrib = typename NodeNumbering<Dim>::Contrib;
+  constexpr int nc = T::num_corners;
+  par::Comm& comm = forest.comm();
+  const int p = comm.size();
+  const int me = comm.rank();
+  OpStats& ops = op_stats();
+
+  const NodeClassifier<Dim> nclass(forest, ghost);
 
   // --- Pass 1: classify all corners of local elements ------------------------
   std::map<Key, Cls> classified;
@@ -166,15 +688,15 @@ NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
   forest.for_each_local([&](int t, const Oct& o) {
     for (int c = 0; c < nc; ++c) {
       const auto cp = o.corner_point(c);
-      const Key k = canonical(t, cp);
+      const Key k = nclass.canonical(t, cp);
       elem_keys[li][static_cast<std::size_t>(c)] = k;
-      if (classified.find(k) == classified.end()) classified.emplace(k, classify(t, cp));
+      if (classified.find(k) == classified.end()) classified.emplace(k, nclass.classify(t, cp));
     }
     ++li;
   });
 
   // --- Assign ids to owned independent nodes --------------------------------
-  NodeNumbering out;
+  NodeNumbering<Dim> out;
   std::map<Key, std::int64_t> gid_of;  // keys with known gid (owned or fetched)
   for (const auto& [k, cls] : classified) {
     if (cls.independent && cls.owner == me) out.owned_keys.push_back(k);
@@ -282,6 +804,12 @@ NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
     const int any = comm.allreduce(static_cast<int>(outstanding), par::ReduceOp::logical_or);
     if (!any) break;
 
+    ops.nodes_rounds++;
+    for (const auto& buf : req) {
+      if (buf.empty()) continue;
+      ops.nodes_request_batches++;
+      ops.nodes_requests_sent += static_cast<std::int64_t>(buf.size());
+    }
     const auto req_in = comm.alltoallv(req);
 
     // Answer every incoming request from the local classification.
@@ -319,6 +847,7 @@ NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
     const auto ans_in = comm.alltoallv(ans);
     for (const auto& from : ans_in) {
       for (const AnsMsg& a : from) {
+        ops.nodes_answers_recv++;
         const Key k = from_msg(a.key);
         if (a.kind == kAnsIndepGid) {
           gid_of[k] = a.gid_or_owner;
@@ -356,6 +885,14 @@ NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
   for (const auto& [k, g] : gid_of) out.gid_keys.emplace_back(g, k);
   std::sort(out.gid_keys.begin(), out.gid_keys.end());
   return out;
+}
+
+template <int Dim>
+NodeNumbering<Dim> NodeNumbering<Dim>::build(const Forest<Dim>& forest,
+                                             const GhostLayer<Dim>& ghost) {
+  const char* ref = std::getenv("ESAMR_NODES_REFERENCE");
+  if (ref != nullptr && ref[0] == '1') return build_reference<Dim>(forest, ghost);
+  return build_batched<Dim>(forest, ghost);
 }
 
 template <int Dim>

@@ -120,12 +120,36 @@ struct Octant {
     return k;
   }
 
+  /// True iff the most significant set bit of `b` is strictly above that of
+  /// `a` (Chan's exclusive-or trick; no clz, no branches on bit positions).
+  static constexpr bool less_msb(std::uint32_t a, std::uint32_t b) {
+    return a < b && a < (a ^ b);
+  }
+
   /// Space-filling-curve order: Morton key first, then level (an ancestor
-  /// precedes all of its descendants).
+  /// precedes all of its descendants). Branchless formulation: instead of
+  /// materializing the interleaved 64-bit keys (a max_level-iteration loop
+  /// per call), find the axis holding the highest differing interleaved bit
+  /// — the coordinate pair with the greatest XOR msb, ties going to the
+  /// higher axis index whose bit is more significant in the key — and
+  /// compare that coordinate directly. Identical order to comparing key().
   friend constexpr bool operator<(const Octant& a, const Octant& b) {
-    const std::uint64_t ka = a.key(), kb = b.key();
-    if (ka != kb) return ka < kb;
-    return a.level < b.level;
+    const auto xd = static_cast<std::uint32_t>(a.x) ^ static_cast<std::uint32_t>(b.x);
+    const auto yd = static_cast<std::uint32_t>(a.y) ^ static_cast<std::uint32_t>(b.y);
+    const auto zd = Dim == 3
+                        ? static_cast<std::uint32_t>(a.z) ^ static_cast<std::uint32_t>(b.z)
+                        : 0u;
+    if ((xd | yd | zd) == 0) return a.level < b.level;
+    int axis = 0;
+    std::uint32_t w = xd;
+    if (!less_msb(yd, w)) {
+      w = yd;
+      axis = 1;
+    }
+    if constexpr (Dim == 3) {
+      if (!less_msb(zd, w)) axis = 2;
+    }
+    return a.coord(axis) < b.coord(axis);
   }
 
   constexpr int child_id() const {
@@ -214,6 +238,24 @@ struct Octant {
     n.x += (c & 1) ? h : -h;
     n.y += (c & 2) ? h : -h;
     if constexpr (Dim == 3) n.z += (c & 4) ? h : -h;
+    return n;
+  }
+
+  /// Number of octants in the same-level insulation neighborhood (the 3^Dim
+  /// block of equal-size octants centered on this one, itself included).
+  static constexpr int num_insulation = Dim == 2 ? 9 : 27;
+  /// Center code: insulation_neighbor(center_code()) == *this.
+  static constexpr int center_code = Dim == 2 ? 4 : 13;
+
+  /// The `code`-th member of the insulation neighborhood. `code` is a base-3
+  /// number with one digit per axis (x least significant); digit 0 / 1 / 2
+  /// offsets that axis by -size / 0 / +size. Results may be exterior.
+  constexpr Octant insulation_neighbor(int code) const {
+    Octant n = *this;
+    const std::int32_t h = size();
+    n.x += (code % 3 - 1) * h;
+    n.y += (code / 3 % 3 - 1) * h;
+    if constexpr (Dim == 3) n.z += (code / 9 - 1) * h;
     return n;
   }
 

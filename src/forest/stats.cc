@@ -1,8 +1,46 @@
 #include "forest/stats.h"
 
 #include <algorithm>
+#include <cstring>
+#include <type_traits>
 
 namespace esamr::forest {
+
+OpStats& OpStats::operator+=(const OpStats& o) {
+  balance_calls += o.balance_calls;
+  balance_merge_passes += o.balance_merge_passes;
+  balance_seed_octants += o.balance_seed_octants;
+  balance_closure_kept += o.balance_closure_kept;
+  balance_octants_sent += o.balance_octants_sent;
+  balance_octants_recv += o.balance_octants_recv;
+  balance_exchange_rounds += o.balance_exchange_rounds;
+  balance_leaves_created += o.balance_leaves_created;
+  nodes_rounds += o.nodes_rounds;
+  nodes_request_batches += o.nodes_request_batches;
+  nodes_requests_sent += o.nodes_requests_sent;
+  nodes_answers_recv += o.nodes_answers_recv;
+  ghost_octants_sent += o.ghost_octants_sent;
+  ghost_interior_skipped += o.ghost_interior_skipped;
+  return *this;
+}
+
+OpStats& op_stats() {
+  thread_local OpStats stats;
+  return stats;
+}
+
+OpStats op_stats_total(par::Comm& comm) {
+  static_assert(std::is_trivially_copyable_v<OpStats>);
+  OpStats total = op_stats();
+  comm.allreduce_bytes(&total, sizeof(OpStats), [](void* acc_p, const void* in_p) {
+    OpStats acc, in;
+    std::memcpy(&acc, acc_p, sizeof(OpStats));
+    std::memcpy(&in, in_p, sizeof(OpStats));
+    acc += in;
+    std::memcpy(acc_p, &acc, sizeof(OpStats));
+  });
+  return total;
+}
 
 template <int Dim>
 ForestStats<Dim> ForestStats<Dim>::compute(const Forest<Dim>& f) {

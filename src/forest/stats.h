@@ -9,6 +9,44 @@
 
 namespace esamr::forest {
 
+/// Per-rank algorithmic operation counters for the forest hot paths
+/// (Balance, Nodes, Ghost). These make algorithmic cost observable in op
+/// space — octants sent, merge passes, request batches — so perf regressions
+/// are caught by counting, not by flaky wall-clock thresholds (the `perf`
+/// ctest label asserts budgets on them). Ranks are threads in this runtime,
+/// so the counters live in a thread-local slot: op_stats() returns the
+/// calling rank's counters.
+struct OpStats {
+  // Balance.
+  std::int64_t balance_calls = 0;
+  std::int64_t balance_merge_passes = 0;     ///< level buckets sorted+merged
+  std::int64_t balance_seed_octants = 0;     ///< insulation octants generated
+  std::int64_t balance_closure_kept = 0;     ///< constraints kept after pruning
+  std::int64_t balance_octants_sent = 0;     ///< boundary constraints sent
+  std::int64_t balance_octants_recv = 0;
+  std::int64_t balance_exchange_rounds = 0;  ///< alltoallv rounds (1 = single-pass)
+  std::int64_t balance_leaves_created = 0;   ///< leaves after minus before
+
+  // Nodes.
+  std::int64_t nodes_rounds = 0;             ///< resolution rounds (1 = one-shot)
+  std::int64_t nodes_request_batches = 0;    ///< non-empty request batches sent
+  std::int64_t nodes_requests_sent = 0;      ///< total keys asked of other ranks
+  std::int64_t nodes_answers_recv = 0;
+
+  // Ghost.
+  std::int64_t ghost_octants_sent = 0;
+  std::int64_t ghost_interior_skipped = 0;   ///< leaves skipped by the insulation fast path
+
+  OpStats& operator+=(const OpStats& o);
+  void reset() { *this = OpStats{}; }
+};
+
+/// The calling rank's (thread's) counters. Reset between phases to measure.
+OpStats& op_stats();
+
+/// Element-wise sum over all ranks (collective).
+OpStats op_stats_total(par::Comm& comm);
+
 template <int Dim>
 struct ForestStats {
   std::int64_t global_octants = 0;

@@ -1,9 +1,12 @@
 // Property tests for Balance: after balance(), every pair of neighboring
 // leaves (faces, edges, corners, across trees) differs by at most one level.
-// The check is a brute-force global verification independent of the ripple
-// algorithm under test.
+// The check is a brute-force global verification independent of the
+// algorithm under test; check_balanced() (the distributed invariant walker)
+// is exercised alongside it. The Equivalence suite additionally pins the
+// single-pass rewrite to the reference ripple, octant for octant.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 
 #include "forest/forest.h"
@@ -91,6 +94,7 @@ TEST_P(BalanceRanks, UnitSquareRandomRefinement) {
     f.balance();
     EXPECT_TRUE(f.is_valid_local());
     expect_two_to_one(f);
+    EXPECT_TRUE(check_balanced(f));
   });
 }
 
@@ -145,6 +149,7 @@ TEST_P(BalanceRanks, MoebiusInterTreeBalance) {
     });
     f.balance();
     expect_two_to_one(f);
+    EXPECT_TRUE(check_balanced(f));
   });
 }
 
@@ -158,6 +163,7 @@ TEST_P(BalanceRanks, Cube3DCornerRefinement) {
     });
     f.balance();
     expect_two_to_one(f);
+    EXPECT_TRUE(check_balanced(f));
     EXPECT_TRUE(f.is_valid_local());
   });
 }
@@ -171,6 +177,7 @@ TEST_P(BalanceRanks, RotcubesInterTree3D) {
     });
     f.balance();
     expect_two_to_one(f);
+    EXPECT_TRUE(check_balanced(f));
   });
 }
 
@@ -183,6 +190,7 @@ TEST_P(BalanceRanks, ShellInterTree3D) {
     });
     f.balance();
     expect_two_to_one(f);
+    EXPECT_TRUE(check_balanced(f));
   });
 }
 
@@ -199,7 +207,54 @@ TEST_P(BalanceRanks, FractalRefinementMatchesPaperSetup) {
     }
     f.balance();
     expect_two_to_one(f);
+    EXPECT_TRUE(check_balanced(f));
   });
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BalanceRanks, ::testing::Values(1, 2, 4, 7));
+
+namespace {
+
+/// Runs the Fig.-4 fractal workload on rotcubes at `nranks` with either the
+/// reference ripple or the single-pass Balance selected via environment, and
+/// returns the rank-0 gathered global leaf sequence.
+std::vector<std::pair<int, Octant<3>>> balanced_leaves(int nranks, bool reference, int depth) {
+  setenv("ESAMR_BALANCE_REFERENCE", reference ? "1" : "0", 1);
+  std::vector<std::pair<int, Octant<3>>> leaves;
+  par::run(nranks, [&](par::Comm& c) {
+    const auto conn = Connectivity<3>::rotcubes();
+    auto f = Forest<3>::new_uniform(c, &conn, 1);
+    for (int l = 1; l < depth; ++l) {
+      f.refine(l + 1, false, [&](int, const Octant<3>& o) {
+        const int id = o.child_id();
+        return o.level == l && (id == 0 || id == 3 || id == 5 || id == 6);
+      });
+    }
+    f.balance();
+    const auto all = gather_all(f);
+    if (c.rank() == 0) leaves = all;
+  });
+  unsetenv("ESAMR_BALANCE_REFERENCE");
+  return leaves;
+}
+
+}  // namespace
+
+class BalanceEquivalence : public ::testing::TestWithParam<int> {};
+
+// The single-pass scheme must produce the exact same forest as the reference
+// ripple — bit-identical global leaf sequence, not just a valid 2:1 closure —
+// across partition counts that place inter-tree corners on rank boundaries.
+TEST_P(BalanceEquivalence, SinglePassMatchesRippleBitForBit) {
+  const int p = GetParam();
+  const auto ref = balanced_leaves(p, /*reference=*/true, /*depth=*/4);
+  const auto got = balanced_leaves(p, /*reference=*/false, /*depth=*/4);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref[i].first, got[i].first) << "tree mismatch at leaf " << i;
+    ASSERT_TRUE(ref[i].second == got[i].second)
+        << "octant mismatch at leaf " << i << " (tree " << ref[i].first << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BalanceEquivalence, ::testing::Values(2, 4, 7, 16));

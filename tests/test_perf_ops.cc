@@ -1,0 +1,82 @@
+// Operation-count regression guards for the forest hot paths (`perf` label).
+//
+// Wall-clock thresholds are hopeless on shared CI machines, so the budgets
+// are algorithmic: OpStats counters for a fixed, deterministic Fig.-4 style
+// workload (rotcubes, fractal refinement of children 0/3/5/6) must stay
+// within 1.5x of the values recorded when the single-pass Balance and the
+// batched Nodes protocol landed. A counter blowing its budget means an
+// algorithmic regression (extra ripple iterations, lost pruning, chattier
+// resolution), not a slow machine. Structural invariants are pinned exactly:
+// the single-pass Balance performs one alltoallv exchange per rank, and the
+// batched Nodes protocol settles in at most two request rounds per rank.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "forest/nodes.h"
+#include "forest/stats.h"
+
+using namespace esamr::forest;
+namespace par = esamr::par;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kDepth = 5;
+
+/// Runs the workload and returns the op counters summed over ranks.
+OpStats run_workload() {
+  OpStats total;
+  par::run(kRanks, [&](par::Comm& c) {
+    op_stats().reset();
+    const auto conn = Connectivity<3>::rotcubes();
+    auto f = Forest<3>::new_uniform(c, &conn, 1);
+    for (int l = 1; l < kDepth; ++l) {
+      f.refine(l + 1, false, [&](int, const Octant<3>& o) {
+        const int id = o.child_id();
+        return o.level == l && (id == 0 || id == 3 || id == 5 || id == 6);
+      });
+    }
+    f.partition();
+    f.balance();
+    const auto g = GhostLayer<3>::build(f);
+    NodeNumbering<3>::build(f, g);
+    const OpStats sum = op_stats_total(c);
+    if (c.rank() == 0) total = sum;
+  });
+  return total;
+}
+
+/// Budget check: actual must not exceed 1.5x the recorded value, and must not
+/// drop below 1/1.5 of it either (a collapse means the counter — or the work
+/// it measures — was accidentally disabled, which would mask regressions).
+void expect_within(const char* name, std::int64_t actual, std::int64_t budget) {
+  std::printf("  %-28s %10lld (budget %lld)\n", name, static_cast<long long>(actual),
+              static_cast<long long>(budget));
+  EXPECT_LE(actual, budget + budget / 2) << name << " exceeds 1.5x budget";
+  EXPECT_GE(actual, (2 * budget) / 3) << name << " fell below 2/3 of budget";
+}
+
+}  // namespace
+
+TEST(PerfOps, Fig4WorkloadStaysWithinOpBudgets) {
+  const OpStats ops = run_workload();
+
+  // Structural invariants of the rewrites (exact, not budgeted).
+  EXPECT_EQ(ops.balance_exchange_rounds, kRanks) << "single-pass Balance must do "
+                                                    "exactly one exchange per rank";
+  EXPECT_LE(ops.nodes_rounds, 2 * kRanks) << "batched Nodes must settle in <= 2 "
+                                             "rounds per rank";
+  EXPECT_GT(ops.balance_leaves_created, 0);
+  EXPECT_GT(ops.ghost_interior_skipped, 0);
+
+  // Volume budgets recorded for kRanks=4, kDepth=5 on the rotcubes fractal.
+  expect_within("balance_merge_passes", ops.balance_merge_passes, 101);
+  expect_within("balance_seed_octants", ops.balance_seed_octants, 132269);
+  expect_within("balance_closure_kept", ops.balance_closure_kept, 10109);
+  expect_within("balance_octants_sent", ops.balance_octants_sent, 3493);
+  expect_within("balance_leaves_created", ops.balance_leaves_created, 14119);
+  expect_within("nodes_requests_sent", ops.nodes_requests_sent, 1435);
+  expect_within("ghost_octants_sent", ops.ghost_octants_sent, 3826);
+  expect_within("ghost_interior_skipped", ops.ghost_interior_skipped, 20472);
+}
