@@ -1,14 +1,20 @@
 // Comm v2 benchmark driver: per-collective byte volume of the p2p
 // (tree/recursive-doubling/ring) backend against the reference shared-slot
-// backend, and a Figure-7-style per-phase breakdown of the AMR pipeline with
-// real message counts and byte volume from CommStats.
+// backend, a Figure-7-style per-phase breakdown of the AMR pipeline with
+// real message counts and byte volume from CommStats, and the runtime
+// overhead of the dynamic correctness checker (src/par/check.h) on a
+// comm-bound workload.
 //
 // The paper's scalability analysis (§III) models collectives as O(log P)
 // tree algorithms over O(P) partition metadata; this driver shows the
 // runtime's collectives actually move tree-algorithm byte volumes, and shows
 // where the AMR pipeline's communication goes phase by phase.
+//
+// Usage: bench_comm [P] [payload] [--json out.json]
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -18,6 +24,22 @@
 using namespace esamr;
 
 namespace {
+
+struct VolumeRow {
+  const char* collective;
+  std::int64_t ref_bytes;
+  std::int64_t p2p_bytes;
+};
+
+struct PhaseRow {
+  const char* phase;
+  bench::PhaseCost cost;
+};
+
+struct CheckRow {
+  int level;
+  double busy_s;
+};
 
 /// Total bytes moved by one collective with a `payload`-byte per-rank input.
 std::int64_t collective_volume(int p, par::Backend backend, par::Coll kind, std::size_t payload) {
@@ -49,15 +71,17 @@ std::int64_t collective_volume(int p, par::Backend backend, par::Coll kind, std:
   return total;
 }
 
-void volume_table(int p, std::size_t payload) {
+std::vector<VolumeRow> volume_table(int p, std::size_t payload) {
   std::printf("=== collective byte volume, reference vs p2p backend (P=%d, %zu B/rank) ===\n", p,
               payload);
   std::printf("%-11s %14s %14s %8s\n", "collective", "reference B", "p2p B", "ratio");
   const par::Coll kinds[] = {par::Coll::bcast,     par::Coll::reduce,     par::Coll::allreduce,
                              par::Coll::allgather, par::Coll::allgatherv, par::Coll::alltoall};
+  std::vector<VolumeRow> rows;
   for (const auto kind : kinds) {
     const auto ref = collective_volume(p, par::Backend::reference, kind, payload);
     const auto p2p = collective_volume(p, par::Backend::p2p, kind, payload);
+    rows.push_back(VolumeRow{par::coll_name(kind), ref, p2p});
     if (p2p > 0) {
       std::printf("%-11s %14" PRId64 " %14" PRId64 " %7.2fx\n", par::coll_name(kind), ref, p2p,
                   static_cast<double>(ref) / static_cast<double>(p2p));
@@ -68,17 +92,20 @@ void volume_table(int p, std::size_t payload) {
   std::printf("(tree/recursive-doubling/ring algorithms vs shared-slot data movement;\n");
   std::printf(" accounting rule in src/par/stats.h. alltoall's 2.00x is purely the\n");
   std::printf(" reference write+read double-count — its real volume is inherently equal)\n\n");
+  return rows;
 }
 
-void phase_table(int p) {
+std::vector<PhaseRow> phase_table(int p) {
   std::printf("=== AMR pipeline comm volume per phase (P=%d, p2p backend) ===\n", p);
   std::printf("%-10s %10s %10s %12s %10s\n", "phase", "busy ms", "msgs", "bytes", "blocked ms");
+  std::vector<PhaseRow> rows;
   par::run(p, [&](par::Comm& comm) {
     const auto conn = forest::Connectivity<3>::rotcubes();
     auto f = forest::Forest<3>::new_uniform(comm, &conn, 1);
     forest::GhostLayer<3> g;
     const auto report = [&](const char* name, const bench::PhaseCost& c) {
       if (comm.rank() == 0) {
+        rows.push_back(PhaseRow{name, c});
         std::printf("%-10s %10.2f %10" PRId64 " %12" PRId64 " %10.2f\n", name,
                     1e3 * c.busy_max_s, c.msgs, c.bytes, 1e3 * c.blocked_s);
       }
@@ -104,15 +131,115 @@ void phase_table(int p) {
       std::printf("%s", par::summary(stats.comm_total).c_str());
     }
   });
+  return rows;
+}
+
+/// Comm-bound workload for the checker-overhead measurement: a neighbor
+/// ping-pong plus one of each tree collective per iteration, under region
+/// guards so every detector hook is on the hot path.
+double checked_workload_busy_s(int p, int check_level, int iters) {
+  par::RunOptions opts;
+  opts.check = check_level;
+  double busy = 0.0;
+  par::run(p, opts, [&](par::Comm& c) {
+    std::vector<int> mine(64, c.rank());
+    const par::check::RegionGuard guard(c, mine.data(), mine.size() * sizeof(int), "bench field");
+    busy = bench::timed_max(c, [&] {
+      for (int it = 0; it < iters; ++it) {
+        c.send_value((c.rank() + 1) % p, 1, it);
+        (void)c.recv((c.rank() + p - 1) % p, 1);
+        c.allreduce(1, par::ReduceOp::sum);
+        c.allgatherv(mine);
+        c.bcast(it, it % p);
+        c.barrier();
+      }
+    });
+  });
+  return busy;
+}
+
+std::vector<CheckRow> checker_table(int p, int iters) {
+  std::printf("\n=== dynamic checker overhead (P=%d, %d iterations of ping-pong + "
+              "allreduce/allgatherv/bcast/barrier) ===\n",
+              p, iters);
+  std::printf("%-22s %12s %10s\n", "configuration", "busy s", "overhead");
+  std::vector<CheckRow> rows;
+  for (const int level : {0, 1, 2}) {
+    rows.push_back(CheckRow{level, checked_workload_busy_s(p, level, iters)});
+  }
+  const double base = rows[0].busy_s;
+  for (const auto& r : rows) {
+    const char* name = r.level == 0   ? "check off"
+                       : r.level == 1 ? "check on  (level 1)"
+                                      : "check on  (level 2)";
+    std::printf("%-22s %12.4f %9.1f%%\n", name, r.busy_s, 100.0 * (r.busy_s - base) / base);
+  }
+  std::printf("(level 1: vector clocks + fingerprint ledger + deadlock watch;\n");
+  std::printf(" level 2 adds result-CRC verification of collective outputs)\n");
+  return rows;
+}
+
+void write_json(const char* path, int p, std::size_t payload, const std::vector<VolumeRow>& vols,
+                const std::vector<PhaseRow>& phases, const std::vector<CheckRow>& checks) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_comm: cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"bench\": \"comm\",\n  \"ranks\": %d,\n  \"payload\": %zu,\n", p,
+               payload);
+  std::fprintf(out, "  \"collective_volume\": [\n");
+  for (std::size_t i = 0; i < vols.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"collective\": \"%s\", \"reference_bytes\": %" PRId64
+                 ", \"p2p_bytes\": %" PRId64 "}%s\n",
+                 vols[i].collective, vols[i].ref_bytes, vols[i].p2p_bytes,
+                 i + 1 < vols.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"phases\": [\n");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& c = phases[i].cost;
+    std::fprintf(out,
+                 "    {\"phase\": \"%s\", \"busy_s\": %.6f, \"msgs\": %" PRId64
+                 ", \"bytes\": %" PRId64 ", \"blocked_s\": %.6f}%s\n",
+                 phases[i].phase, c.busy_max_s, c.msgs, c.bytes, c.blocked_s,
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"checker_overhead\": [\n");
+  const double base = checks.empty() ? 1.0 : checks[0].busy_s;
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"check_level\": %d, \"busy_s\": %.6f, \"overhead\": %.4f}%s\n",
+                 checks[i].level, checks[i].busy_s, (checks[i].busy_s - base) / base,
+                 i + 1 < checks.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int p = argc > 1 ? std::atoi(argv[1]) : 16;
-  const std::size_t payload = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 4096;
+  int p = 16;
+  std::size_t payload = 4096;
+  const char* json_path = nullptr;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (positional == 0) {
+      p = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      payload = static_cast<std::size_t>(std::atoll(argv[i]));
+      ++positional;
+    }
+  }
   std::printf("=== Comm v2: instrumented collectives (src/par) ===\n\n");
-  volume_table(p, payload);
-  phase_table(std::min(p, 8));
+  const auto vols = volume_table(p, payload);
+  const auto phases = phase_table(std::min(p, 8));
+  const auto checks = checker_table(std::min(p, 8), 200);
+  if (json_path != nullptr) write_json(json_path, p, payload, vols, phases, checks);
   return 0;
 }

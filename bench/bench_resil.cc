@@ -6,7 +6,10 @@
 // Unlike the figure drivers (busy time), these tables use wall clock: the
 // interesting cost is file I/O plus the gather/scatter around it, and the
 // recovery overhead is an elapsed-time question by definition.
+//
+// Usage: bench_resil [--json out.json]
 #include <chrono>
+#include <cstring>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -62,13 +65,32 @@ std::uint64_t pick_kill_seed(int nranks, int stride, int* victim) {
   return 0;
 }
 
-void bandwidth_table() {
+struct BandwidthRow {
+  int ranks;
+  int level;
+  std::int64_t octants;
+  std::int64_t bytes;
+  double write_s;
+  double restore_s;
+};
+
+struct RecoveryRow {
+  int interval;
+  double wall_s;
+  double overhead;  // fraction over the fault-free baseline
+  int attempts;
+  std::uint64_t steps_replayed;
+  std::int64_t bytes_reread;
+};
+
+std::vector<BandwidthRow> bandwidth_table() {
   std::printf("=== snapshot write / restore bandwidth (wall clock) ===\n");
   std::printf("%4s %6s %9s %11s %12s %13s\n", "P", "level", "octants", "bytes",
               "write MB/s", "restore MB/s");
   const auto conn = forest::Connectivity<2>::unit();
   const std::uint64_t cid = resil::connectivity_id(conn);
   const std::string dir = scratch_dir("bw");
+  std::vector<BandwidthRow> rows;
   for (const int p : {1, 4, 8}) {
     for (const int level : {5, 7}) {
       const std::string path = dir + "/snap.esnap";
@@ -96,15 +118,17 @@ void bandwidth_table() {
         }
       });
       const double mb = static_cast<double>(bytes) / 1.0e6;
+      rows.push_back(BandwidthRow{p, level, octs, bytes, write_s, restore_s});
       std::printf("%4d %6d %9" PRId64 " %11" PRId64 " %12.1f %13.1f\n", p, level, octs,
                   bytes, mb / write_s, mb / restore_s);
     }
   }
   std::printf("(one file per snapshot: rank-0 gather -> CRC32C per section -> tmp+rename;\n");
   std::printf(" restore is read + CRC check + elastic SFC repartition)\n\n");
+  return rows;
 }
 
-void recovery_table() {
+std::vector<RecoveryRow> recovery_table() {
   constexpr int P = 4;
   apps::MantleOptions mopt;
   mopt.base_level = 2;
@@ -135,6 +159,7 @@ void recovery_table() {
   std::printf("fault-free baseline (no checkpoints): %.2f s\n", base_s);
   std::printf("%9s %8s %10s %9s %9s %10s\n", "interval", "wall s", "overhead", "attempts",
               "replayed", "reread KB");
+  std::vector<RecoveryRow> rows;
   for (const int interval : {1, 2, 3}) {
     auto m = mopt;
     m.checkpoint_every = interval;
@@ -154,6 +179,8 @@ void recovery_table() {
           sim.run();
         });
     const double dt = wall_s() - t0;
+    rows.push_back(RecoveryRow{interval, dt, (dt - base_s) / base_s, stats.attempts,
+                               stats.steps_replayed, stats.bytes_reread});
     std::printf("%9d %8.2f %9.1f%% %9d %9llu %10.1f\n", interval, dt,
                 100.0 * (dt - base_s) / base_s, stats.attempts,
                 static_cast<unsigned long long>(stats.steps_replayed),
@@ -161,12 +188,49 @@ void recovery_table() {
   }
   std::printf("(overhead = checkpoint writes + lost work since the last snapshot + replay;\n");
   std::printf(" shorter intervals pay more write cost but replay fewer iterations)\n");
+  return rows;
+}
+
+void write_json(const char* path, const std::vector<BandwidthRow>& bw,
+                const std::vector<RecoveryRow>& rec) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_resil: cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"bench\": \"resil\",\n  \"bandwidth\": [\n");
+  for (std::size_t i = 0; i < bw.size(); ++i) {
+    const auto& r = bw[i];
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"level\": %d, \"octants\": %" PRId64
+                 ", \"bytes\": %" PRId64 ", \"write_s\": %.6f, \"restore_s\": %.6f}%s\n",
+                 r.ranks, r.level, r.octants, r.bytes, r.write_s, r.restore_s,
+                 i + 1 < bw.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"recovery\": [\n");
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    const auto& r = rec[i];
+    std::fprintf(out,
+                 "    {\"interval\": %d, \"wall_s\": %.6f, \"overhead\": %.4f, \"attempts\": %d, "
+                 "\"steps_replayed\": %llu, \"bytes_reread\": %" PRId64 "}%s\n",
+                 r.interval, r.wall_s, r.overhead, r.attempts,
+                 static_cast<unsigned long long>(r.steps_replayed), r.bytes_reread,
+                 i + 1 < rec.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
 
-int main() {
-  bandwidth_table();
-  recovery_table();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+  const auto bw = bandwidth_table();
+  const auto rec = recovery_table();
+  if (json_path != nullptr) write_json(json_path, bw, rec);
   return 0;
 }

@@ -317,7 +317,16 @@ void Forest<Dim>::partition_payload(const std::function<double(int, const Oct&)>
       ++i;
     }
   }
-  const auto recv = comm_->alltoallv(send);
+  std::vector<std::vector<OctMsg>> recv;
+  {
+    // Leaves and payload stay rank-owned across the exchange; the guards
+    // end before the rebuild below (which may reallocate the arrays).
+    const auto leaf_guards = check_guard_leaves("partition leaves");
+    const par::check::RegionGuard payload_guard(*comm_, data.data(),
+                                                data.size() * sizeof(double),
+                                                "partition payload");
+    recv = comm_->alltoallv(send);
+  }
   for (auto& tr : trees_) tr.clear();
   for (const auto& from : recv) {
     for (const OctMsg& m : from) {

@@ -66,6 +66,22 @@ class Forest {
   int num_trees() const { return conn_->num_trees(); }
   const std::vector<Oct>& tree(int t) const { return trees_[static_cast<std::size_t>(t)]; }
 
+  /// Register every local leaf array with the par correctness checker as
+  /// this rank's memory (par/check.h; no-op vector when checking is off).
+  /// Algorithms hold the returned guards across a communication phase so a
+  /// cross-rank read of a leaf array without a happens-before edge is
+  /// reported; the guards must not outlive any mutation of the leaf arrays
+  /// (reallocation would stale the registered ranges).
+  std::vector<par::check::RegionGuard> check_guard_leaves(const char* phase) const {
+    std::vector<par::check::RegionGuard> guards;
+    if (!par::check::enabled(*comm_)) return guards;
+    guards.reserve(trees_.size());
+    for (const auto& tr : trees_) {
+      guards.emplace_back(*comm_, tr.data(), tr.size() * sizeof(Oct), phase);
+    }
+    return guards;
+  }
+
   std::int64_t num_local() const;
   std::int64_t num_global() const;
   /// Per-rank octant counts (replicated partition metadata).

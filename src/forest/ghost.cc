@@ -176,6 +176,9 @@ GhostLayer<Dim> GhostLayer<Dim>::build(const Forest<Dim>& forest, int layers) {
   for (const auto& buf : send) {
     op_stats().ghost_octants_sent += static_cast<std::int64_t>(buf.size());
   }
+  // Local leaf arrays (including those skipped by the interior fast path)
+  // are rank-owned during the exchange.
+  const auto leaf_guards = forest.check_guard_leaves("ghost leaves");
   const auto recv = comm.alltoallv(send);
   layer.rank_offset.assign(static_cast<std::size_t>(p) + 1, 0);
   for (int r = 0; r < p; ++r) {

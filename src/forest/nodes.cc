@@ -444,6 +444,10 @@ static NodeNumbering<Dim> build_batched(const Forest<Dim>& forest, const GhostLa
   }
 
   // --- Resolution -------------------------------------------------------------
+  // The owned-key array is complete and rank-owned for all resolution rounds.
+  const par::check::RegionGuard owned_guard(comm, out.owned_keys.data(),
+                                            out.owned_keys.size() * sizeof(Key),
+                                            "nodes owned keys");
   std::set<std::pair<Key, int>> asked;
   std::vector<std::vector<KeyMsg>> req(static_cast<std::size_t>(p));
 
@@ -716,6 +720,9 @@ static NodeNumbering<Dim> build_reference(const Forest<Dim>& forest,
   }
 
   // --- Resolution rounds -----------------------------------------------------
+  const par::check::RegionGuard owned_guard(comm, out.owned_keys.data(),
+                                            out.owned_keys.size() * sizeof(Key),
+                                            "nodes owned keys (reference)");
   // `want` = keys whose expansion onto independent gids we need.
   std::map<Key, std::vector<Contrib>> resolved;
   std::set<Key> want;

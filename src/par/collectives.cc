@@ -50,26 +50,58 @@ int pof2_below(int n) {
 
 /// Barrier with blocked time charged to the rank (used inside reference
 /// collectives, where the barrier is part of the algorithm, not a user call).
-void timed_barrier(World* w, int rank) {
+void timed_barrier(World* w, int rank, check::Site site = {}) {
   const double t0 = wall_seconds();
-  w->barrier_wait(rank);
+  w->barrier_wait(rank, site);
   w->stats[static_cast<std::size_t>(rank)].barrier_blocked_s += wall_seconds() - t0;
 }
 
 }  // namespace
 
-void Comm::coll_begin(Coll kind, std::size_t payload_bytes) {
+void Comm::coll_begin(Coll kind, std::size_t payload_bytes, std::uint64_t invariant, int root,
+                      check::Site site) {
   maybe_kill();
   auto& st = stats();
   const auto idx = static_cast<std::size_t>(kind);
   ++st.coll_calls[idx];
   st.coll_payload_bytes[idx] += static_cast<std::int64_t>(payload_bytes);
   coll_tag_base_ = static_cast<int>((coll_seq_ % 1000000ULL) * static_cast<std::uint64_t>(max_round));
+  if (checker_ != nullptr) {
+    coll_site_ = site;
+    check::Fingerprint fp;
+    fp.kind = static_cast<std::uint8_t>(kind);
+    fp.root = static_cast<std::int16_t>(root);
+    fp.invariant = invariant;
+    fp.site = site;
+    checker_->collective(rank_, coll_seq_, fp, /*result_pass=*/false, world_);
+  }
   ++coll_seq_;
 }
 
+void Comm::coll_check_result(const void* data, std::size_t nbytes) {
+  if (checker_ == nullptr || checker_->level() < 2) return;
+  check::Fingerprint fp;
+  fp.kind = 0xff;
+  fp.invariant = check::Checker::crc32c(data, nbytes);
+  fp.site = coll_site_;
+  checker_->collective(rank_, coll_seq_ - 1, fp, /*result_pass=*/true, world_);
+}
+
+void Comm::coll_check_result(const std::vector<std::vector<std::byte>>& parts) {
+  if (checker_ == nullptr || checker_->level() < 2) return;
+  // Digest of (size, CRC) per part; rank-invariant iff every part agrees.
+  std::vector<std::uint64_t> digest;
+  digest.reserve(parts.size() * 2);
+  for (const auto& p : parts) {
+    digest.push_back(p.size());
+    digest.push_back(check::Checker::crc32c(p.data(), p.size()));
+  }
+  coll_check_result(digest.data(), digest.size() * sizeof(std::uint64_t));
+}
+
 int Comm::coll_tag(int round) const {
-  if (round < 0 || round >= max_round) throw std::logic_error("par: collective round overflow");
+  ESAMR_ASSERT(round >= 0 && round < max_round, rank_,
+               "par: collective round " + std::to_string(round) + " overflows the tag space");
   return coll_tag_base_ + round;
 }
 
@@ -82,7 +114,7 @@ void Comm::send_coll(int dest, int round, const void* data, std::size_t nbytes) 
 
 Message Comm::recv_coll(int source, int round, Coll kind) {
   const double t0 = wall_seconds();
-  Message m = recv_impl(true, source, coll_tag(round), coll_name(kind));
+  Message m = recv_impl(true, source, coll_tag(round), coll_name(kind), coll_site_);
   stats().recv_blocked_s += wall_seconds() - t0;
   return m;
 }
@@ -95,7 +127,18 @@ std::vector<std::vector<std::byte>> Comm::ref_gather(const void* data, std::size
   auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
   slot.resize(nbytes);
   if (nbytes > 0) std::memcpy(slot.data(), data, nbytes);
-  timed_barrier(world_, rank_);
+  // Dogfood detector 1 on the runtime's own shared-slot pattern: the slot is
+  // this rank's region until the collective completes; peers read it only
+  // after the barrier supplies the happens-before edge.
+  check::RegionGuard slot_guard(*this, slot.data(), slot.size(), "par::ref_gather slot");
+  timed_barrier(world_, rank_, coll_site_);
+  if (checker_ != nullptr) {
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      const auto& peer = world_->slots[static_cast<std::size_t>(r)];
+      check::note_access(*this, peer.data(), peer.size(), /*write=*/false);
+    }
+  }
   std::vector<std::vector<std::byte>> out(world_->slots.begin(), world_->slots.end());
   if (count) {
     auto& st = stats();
@@ -105,7 +148,7 @@ std::vector<std::vector<std::byte>> Comm::ref_gather(const void* data, std::size
       if (r != rank_) st.coll_bytes += static_cast<std::int64_t>(out[static_cast<std::size_t>(r)].size());
     }
   }
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
   return out;
 }
 
@@ -116,13 +159,13 @@ void Comm::ref_bcast(std::vector<std::byte>& buf, int root) {
     ++st.coll_msgs;
     st.coll_bytes += static_cast<std::int64_t>(buf.size());
   }
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
   if (rank_ != root) {
     buf = world_->bvec;
     ++st.coll_msgs;
     st.coll_bytes += static_cast<std::int64_t>(buf.size());
   }
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
 }
 
 void Comm::ref_allreduce(void* inout, std::size_t nbytes, const Combine& op) {
@@ -140,7 +183,7 @@ void Comm::ref_reduce(void* inout, std::size_t nbytes, int root, const Combine& 
   auto& st = stats();
   ++st.coll_msgs;
   st.coll_bytes += static_cast<std::int64_t>(nbytes);
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
   if (rank_ == root) {
     std::vector<std::byte> acc(world_->slots[0]);
     for (int r = 1; r < p; ++r) op(acc.data(), world_->slots[static_cast<std::size_t>(r)].data());
@@ -148,7 +191,7 @@ void Comm::ref_reduce(void* inout, std::size_t nbytes, int root, const Combine& 
     st.coll_bytes += static_cast<std::int64_t>(nbytes) * (p - 1);
     if (nbytes > 0) std::memcpy(inout, acc.data(), nbytes);
   }
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
 }
 
 void Comm::ref_exscan(const void* mine, void* prefix, std::size_t nbytes, const Combine& op) {
@@ -158,13 +201,13 @@ void Comm::ref_exscan(const void* mine, void* prefix, std::size_t nbytes, const 
   auto& st = stats();
   ++st.coll_msgs;
   st.coll_bytes += static_cast<std::int64_t>(nbytes);
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
   for (int r = 0; r < rank_; ++r) {
     op(prefix, world_->slots[static_cast<std::size_t>(r)].data());
     ++st.coll_msgs;
     st.coll_bytes += static_cast<std::int64_t>(nbytes);
   }
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
 }
 
 std::vector<std::vector<std::byte>> Comm::ref_alltoall(
@@ -178,7 +221,7 @@ std::vector<std::vector<std::byte>> Comm::ref_alltoall(
     }
   }
   world_->a2a[static_cast<std::size_t>(rank_)] = std::move(sendbufs);
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
   for (int s = 0; s < p; ++s) {
     // a2a[s][rank_] is read by exactly one rank (this one), so moving is safe.
@@ -189,7 +232,7 @@ std::vector<std::vector<std::byte>> Comm::ref_alltoall(
       st.coll_bytes += static_cast<std::int64_t>(out[static_cast<std::size_t>(s)].size());
     }
   }
-  timed_barrier(world_, rank_);
+  timed_barrier(world_, rank_, coll_site_);
   return out;
 }
 
@@ -370,59 +413,84 @@ std::vector<std::vector<std::byte>> Comm::p2p_alltoall(
 
 // --- Dispatchers ------------------------------------------------------------
 
-void Comm::bcast_bytes(std::vector<std::byte>& buf, int root) {
-  if (root < 0 || root >= size()) throw std::runtime_error("par::bcast: bad root rank");
+void Comm::bcast_bytes(std::vector<std::byte>& buf, int root, std::source_location loc) {
+  ESAMR_ASSERT(root >= 0 && root < size(), rank_,
+               "par::bcast: root rank " + std::to_string(root) + " out of range [0, " +
+                   std::to_string(size()) + ")");
   perturb();
-  coll_begin(Coll::bcast, rank_ == root ? buf.size() : 0);
+  // The payload size is only meaningful on the root (non-roots are resized),
+  // so it is not part of the cross-rank fingerprint.
+  coll_begin(Coll::bcast, rank_ == root ? buf.size() : 0, 0, root, check::Site::of(loc));
   if (backend() == Backend::reference) {
     ref_bcast(buf, root);
   } else {
     p2p_binomial_bcast(buf, root);
   }
+  coll_check_result(buf.data(), buf.size());
 }
 
-std::vector<std::vector<std::byte>> Comm::allgather_bytes(const void* data, std::size_t nbytes) {
+std::vector<std::vector<std::byte>> Comm::allgather_bytes(const void* data, std::size_t nbytes,
+                                                          std::source_location loc) {
   perturb();
-  coll_begin(Coll::allgather, nbytes);
-  if (backend() == Backend::reference) return ref_gather(data, nbytes, true);
-  if (is_pof2(size())) return p2p_rd_allgather(data, nbytes);
-  return p2p_ring_allgatherv(data, nbytes, Coll::allgather);
+  coll_begin(Coll::allgather, nbytes, nbytes, -1, check::Site::of(loc));
+  std::vector<std::vector<std::byte>> out;
+  if (backend() == Backend::reference) {
+    out = ref_gather(data, nbytes, true);
+  } else if (is_pof2(size())) {
+    out = p2p_rd_allgather(data, nbytes);
+  } else {
+    out = p2p_ring_allgatherv(data, nbytes, Coll::allgather);
+  }
+  coll_check_result(out);
+  return out;
 }
 
-std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(const void* data, std::size_t nbytes) {
+std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(const void* data, std::size_t nbytes,
+                                                           std::source_location loc) {
   perturb();
-  coll_begin(Coll::allgatherv, nbytes);
-  if (backend() == Backend::reference) return ref_gather(data, nbytes, true);
-  return p2p_ring_allgatherv(data, nbytes, Coll::allgatherv);
+  coll_begin(Coll::allgatherv, nbytes, 0, -1, check::Site::of(loc));
+  std::vector<std::vector<std::byte>> out;
+  if (backend() == Backend::reference) {
+    out = ref_gather(data, nbytes, true);
+  } else {
+    out = p2p_ring_allgatherv(data, nbytes, Coll::allgatherv);
+  }
+  coll_check_result(out);
+  return out;
 }
 
 std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
-    std::vector<std::vector<std::byte>> sendbufs) {
-  if (static_cast<int>(sendbufs.size()) != size()) {
-    throw std::runtime_error("par::alltoall: sendbufs.size() != nranks");
-  }
+    std::vector<std::vector<std::byte>> sendbufs, std::source_location loc) {
+  ESAMR_ASSERT(static_cast<int>(sendbufs.size()) == size(), rank_,
+               "par::alltoall: sendbufs holds " + std::to_string(sendbufs.size()) +
+                   " buffers, expected one per rank (" + std::to_string(size()) + ")");
   perturb();
   std::size_t payload = 0;
   for (const auto& b : sendbufs) payload += b.size();
-  coll_begin(Coll::alltoall, payload);
+  coll_begin(Coll::alltoall, payload, 0, -1, check::Site::of(loc));
   if (backend() == Backend::reference) return ref_alltoall(std::move(sendbufs));
   return p2p_alltoall(std::move(sendbufs));
 }
 
-void Comm::allreduce_bytes(void* inout, std::size_t nbytes, const Combine& op) {
+void Comm::allreduce_bytes(void* inout, std::size_t nbytes, const Combine& op,
+                           std::source_location loc) {
   perturb();
-  coll_begin(Coll::allreduce, nbytes);
+  coll_begin(Coll::allreduce, nbytes, nbytes, -1, check::Site::of(loc));
   if (backend() == Backend::reference) {
     ref_allreduce(inout, nbytes, op);
   } else {
     p2p_rd_allreduce(inout, nbytes, op);
   }
+  coll_check_result(inout, nbytes);
 }
 
-void Comm::reduce_bytes(void* inout, std::size_t nbytes, int root, const Combine& op) {
-  if (root < 0 || root >= size()) throw std::runtime_error("par::reduce: bad root rank");
+void Comm::reduce_bytes(void* inout, std::size_t nbytes, int root, const Combine& op,
+                        std::source_location loc) {
+  ESAMR_ASSERT(root >= 0 && root < size(), rank_,
+               "par::reduce: root rank " + std::to_string(root) + " out of range [0, " +
+                   std::to_string(size()) + ")");
   perturb();
-  coll_begin(Coll::reduce, nbytes);
+  coll_begin(Coll::reduce, nbytes, nbytes, root, check::Site::of(loc));
   if (backend() == Backend::reference) {
     ref_reduce(inout, nbytes, root, op);
   } else {
@@ -430,9 +498,10 @@ void Comm::reduce_bytes(void* inout, std::size_t nbytes, int root, const Combine
   }
 }
 
-void Comm::exscan_bytes(const void* mine, void* prefix, std::size_t nbytes, const Combine& op) {
+void Comm::exscan_bytes(const void* mine, void* prefix, std::size_t nbytes, const Combine& op,
+                        std::source_location loc) {
   perturb();
-  coll_begin(Coll::exscan, nbytes);
+  coll_begin(Coll::exscan, nbytes, nbytes, -1, check::Site::of(loc));
   if (backend() == Backend::reference) {
     ref_exscan(mine, prefix, nbytes, op);
   } else {

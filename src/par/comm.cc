@@ -26,39 +26,87 @@ std::string envelope_str(int source, int tag) {
   return s;
 }
 
+/// Clears a rank's published wait-for state on every exit path (match,
+/// timeout, poison, checker report). Declared before the mailbox/barrier
+/// lock so the lock is released first (unblock takes the checker's own
+/// mutex, never a mailbox one).
+struct BlockClear {
+  check::Checker* chk;
+  int rank;
+  bool* published;
+  ~BlockClear() {
+    if (*published) chk->unblock(rank);
+  }
+};
+
+/// While blocked with the checker enabled, sleep in slices this long and run
+/// deadlock detection between slices, so a cycle is reported well before any
+/// configured timeout (and even with timeouts disabled).
+constexpr double detect_slice_s = 0.05;
+
 }  // namespace
 
-void World::barrier_wait(int rank) {
+void World::barrier_wait(int rank, check::Site site) {
+  check::Checker* chk = checker.get();
+  if (chk != nullptr) chk->barrier_arrive(rank);
   const double timeout = opts.barrier_timeout_s;
   const double t0 = wall_seconds();
-  std::unique_lock<std::mutex> lock(bar_m);
-  if (poisoned.load()) throw detail::WorldPoisoned{};
-  const long gen = bar_gen;
-  if (++bar_count == size) {
-    bar_count = 0;
-    ++bar_gen;
-    bar_cv.notify_all();
-    return;
-  }
-  while (bar_gen == gen) {
+  bool published = false;
+  BlockClear clear{chk, rank, &published};
+  {
+    std::unique_lock<std::mutex> lock(bar_m);
     if (poisoned.load()) throw detail::WorldPoisoned{};
-    if (timeout > 0.0) {
-      const double left = timeout - (wall_seconds() - t0);
-      if (left <= 0.0) {
-        throw TimeoutError("esamr::par timeout: rank " + std::to_string(rank) + " blocked " +
-                           std::to_string(wall_seconds() - t0) + " s in barrier (" +
-                           std::to_string(bar_count) + " of " + std::to_string(size) +
-                           " ranks arrived)");
-      }
-      bar_cv.wait_for(lock, std::chrono::duration<double>(left));
+    const long gen = bar_gen;
+    if (++bar_count == size) {
+      bar_count = 0;
+      ++bar_gen;
+      bar_cv.notify_all();
     } else {
-      bar_cv.wait(lock);
+      while (bar_gen == gen) {
+        if (poisoned.load()) throw detail::WorldPoisoned{};
+        double left = -1.0;  // < 0: no timeout configured
+        if (timeout > 0.0) {
+          left = timeout - (wall_seconds() - t0);
+          if (left <= 0.0) {
+            throw TimeoutError("esamr::par timeout: rank " + std::to_string(rank) + " blocked " +
+                               std::to_string(wall_seconds() - t0) + " s in barrier (" +
+                               std::to_string(bar_count) + " of " + std::to_string(size) +
+                               " ranks arrived)");
+          }
+        }
+        if (chk == nullptr) {
+          if (left > 0.0) {
+            bar_cv.wait_for(lock, std::chrono::duration<double>(left));
+          } else {
+            bar_cv.wait(lock);
+          }
+        } else {
+          if (!published) {
+            chk->block_barrier(rank, site);
+            published = true;
+          }
+          double slice = detect_slice_s;
+          if (left > 0.0 && left < slice) slice = left;
+          bar_cv.wait_for(lock, std::chrono::duration<double>(slice));
+          if (bar_gen != gen) break;
+          lock.unlock();
+          chk->detect(rank, *this);
+          lock.lock();
+        }
+      }
+    }
+    // Unpublish while still holding bar_m (same reason as in recv_impl: a
+    // wait cleared only after the lock drops can be frozen as stale state).
+    if (published) {
+      chk->unblock(rank);
+      published = false;
     }
   }
+  if (chk != nullptr) chk->barrier_depart(rank);
 }
 
 Comm::Comm(World* world, int rank)
-    : world_(world), rank_(rank),
+    : world_(world), rank_(rank), checker_(world->checker.get()),
       slow_rank_(detail::is_slow_rank(world->opts.inject, rank)),
       kill_rank_(detail::is_kill_rank(world->opts.inject, rank)),
       send_seq_(static_cast<std::size_t>(world->size), 0) {}
@@ -85,12 +133,15 @@ void Comm::maybe_kill() {
 }
 
 void Comm::send_impl(bool coll, int dest, int tag, const void* data, std::size_t nbytes) {
-  if (dest < 0 || dest >= world_->size) throw std::runtime_error("par::send: bad destination rank");
+  ESAMR_ASSERT(dest >= 0 && dest < world_->size, rank_,
+               "par::send: destination rank " + std::to_string(dest) + " out of range [0, " +
+                   std::to_string(world_->size) + ")");
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
   msg.data.resize(nbytes);
   if (nbytes > 0) std::memcpy(msg.data.data(), data, nbytes);
+  if (checker_ != nullptr) checker_->on_send(rank_, msg);
 
   const auto& inj = world_->opts.inject;
   double vis = 0.0;
@@ -115,11 +166,13 @@ void Comm::send_impl(bool coll, int dest, int tag, const void* data, std::size_t
   box.cv.notify_all();
 }
 
-Message Comm::recv_impl(bool coll, int source, int tag, const char* what) {
+Message Comm::recv_impl(bool coll, int source, int tag, const char* what, check::Site site) {
   auto& box = coll ? *world_->coll_mail[static_cast<std::size_t>(rank_)]
                    : *world_->mail[static_cast<std::size_t>(rank_)];
   const double timeout = world_->opts.recv_timeout_s;
   const double t0 = wall_seconds();
+  bool published = false;
+  BlockClear clear{checker_, rank_, &published};
   std::unique_lock<std::mutex> lock(box.m);
   for (;;) {
     if (world_->poisoned.load()) throw detail::WorldPoisoned{};
@@ -130,6 +183,18 @@ Message Comm::recv_impl(bool coll, int source, int tag, const char* what) {
       if (it->visible_at <= now) {
         Message out = std::move(*it);
         box.q.erase(it);
+        if (checker_ != nullptr) {
+          checker_->on_recv(rank_, out);
+          // Clear the published wait while still holding the mailbox lock.
+          // If we released the lock first, the scope-exit unblock could stall
+          // on graph_m_ behind a concurrent detect(), which would then freeze
+          // a world where this wait looks live but its message is already
+          // consumed — an unsatisfiable edge that fabricates a cycle.
+          if (published) {
+            checker_->unblock(rank_);
+            published = false;
+          }
+        }
         return out;
       }
       if (next_vis == 0.0 || it->visible_at < next_vis) next_vis = it->visible_at;
@@ -149,10 +214,23 @@ Message Comm::recv_impl(bool coll, int source, int tag, const char* what) {
       const double until_vis = next_vis - now;
       if (wait_s < 0.0 || until_vis < wait_s) wait_s = until_vis;
     }
-    if (wait_s < 0.0) {
-      box.cv.wait(lock);
-    } else if (wait_s > 0.0) {
-      box.cv.wait_for(lock, std::chrono::duration<double>(wait_s));
+    if (checker_ == nullptr) {
+      if (wait_s < 0.0) {
+        box.cv.wait(lock);
+      } else if (wait_s > 0.0) {
+        box.cv.wait_for(lock, std::chrono::duration<double>(wait_s));
+      }
+    } else {
+      if (!published) {
+        checker_->block_recv(rank_, coll, source, tag, site);
+        published = true;
+      }
+      double slice = detect_slice_s;
+      if (wait_s >= 0.0 && wait_s < slice) slice = wait_s;
+      if (slice > 0.0) box.cv.wait_for(lock, std::chrono::duration<double>(slice));
+      lock.unlock();
+      checker_->detect(rank_, *world_);
+      lock.lock();
     }
   }
 }
@@ -166,11 +244,11 @@ void Comm::send_bytes(int dest, int tag, const void* data, std::size_t nbytes) {
   st.p2p_send_bytes += static_cast<std::int64_t>(nbytes);
 }
 
-Message Comm::recv(int source, int tag) {
+Message Comm::recv(int source, int tag, std::source_location loc) {
   maybe_kill();
   perturb();
   const double t0 = wall_seconds();
-  Message out = recv_impl(false, source, tag, "recv");
+  Message out = recv_impl(false, source, tag, "recv", check::Site::of(loc));
   auto& st = stats();
   st.recv_blocked_s += wall_seconds() - t0;
   ++st.p2p_recvs;
@@ -188,16 +266,18 @@ bool Comm::iprobe(int source, int tag) {
   return false;
 }
 
-void Comm::barrier() {
+void Comm::barrier(std::source_location loc) {
   perturb();
-  coll_begin(Coll::barrier, 0);
+  const check::Site site = check::Site::of(loc);
+  coll_begin(Coll::barrier, 0, 0, -1, site);
   const double t0 = wall_seconds();
-  world_->barrier_wait(rank_);
+  world_->barrier_wait(rank_, site);
   stats().barrier_blocked_s += wall_seconds() - t0;
 }
 
 void run(int nranks, const RunOptions& opts, const std::function<void(Comm&)>& fn) {
-  if (nranks < 1) throw std::runtime_error("par::run: nranks must be >= 1");
+  ESAMR_ASSERT(nranks >= 1, -1,
+               "par::run: nranks must be >= 1, got " + std::to_string(nranks));
   World world(nranks, opts);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
@@ -213,6 +293,9 @@ void run(int nranks, const RunOptions& opts, const std::function<void(Comm&)>& f
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         world.poison();
       }
+      // A returned rank can never unblock anyone; tell the deadlock and
+      // collective-count detectors.
+      if (world.checker) world.checker->on_rank_done(r);
     });
   }
   for (auto& t : threads) t.join();

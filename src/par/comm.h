@@ -31,12 +31,14 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <source_location>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "par/check.h"
 #include "par/inject.h"
 #include "par/stats.h"
 
@@ -63,6 +65,12 @@ struct RunOptions {
   double recv_timeout_s = 0.0;
   /// barrier fails with TimeoutError after this many seconds; 0 = forever.
   double barrier_timeout_s = 0.0;
+  /// SPMD correctness checking level (par/check.h): 0 = off, 1 = race +
+  /// collective-matching + deadlock detectors, 2 = additionally CRC the
+  /// rank-invariant results of bcast/allreduce/allgather(v). The default -1
+  /// defers to the ESAMR_CHECK environment variable (absent = off); an
+  /// explicit 0 overrides the environment.
+  int check = -1;
 };
 
 /// Thrown by recv/barrier when a configured timeout expires. The message
@@ -98,14 +106,19 @@ struct Message {
   /// Internal: earliest wall time (par::wall_seconds) at which the message
   /// is visible to recv/iprobe under fault injection. 0 = immediately.
   double visible_at = 0.0;
+  /// Internal: the sender's vector clock at send time, stamped only when the
+  /// correctness checker (par/check.h) is enabled; carries the
+  /// happens-before edge to the receiver.
+  std::vector<std::uint32_t> hb;
 
   /// Reinterpret the payload as an array of trivially copyable T.
   template <typename T>
   std::vector<T> as() const {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (data.size() % sizeof(T) != 0) {
-      throw std::runtime_error("par::Message::as: size not a multiple of element size");
-    }
+    ESAMR_ASSERT(data.size() % sizeof(T) == 0, source,
+                 "par::Message::as: payload size " + std::to_string(data.size()) +
+                     " is not a multiple of element size " + std::to_string(sizeof(T)) +
+                     " (tag " + std::to_string(tag) + ")");
     std::vector<T> out(data.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), data.data(), data.size());
     return out;
@@ -115,9 +128,9 @@ struct Message {
   template <typename T>
   T value() const {
     auto v = as<T>();
-    if (v.size() != 1) {
-      throw std::runtime_error("par::Message::value: payload is not a single element");
-    }
+    ESAMR_ASSERT(v.size() == 1, source,
+                 "par::Message::value: payload holds " + std::to_string(v.size()) +
+                     " elements, expected exactly one (tag " + std::to_string(tag) + ")");
     return v[0];
   }
 };
@@ -156,30 +169,41 @@ class Comm {
   }
 
   /// Blocking receive of the first message matching (source, tag).
-  Message recv(int source = any_source, int tag = any_tag);
+  Message recv(int source = any_source, int tag = any_tag,
+               std::source_location loc = std::source_location::current());
 
   /// Non-blocking test for a matching (visible) message.
   bool iprobe(int source = any_source, int tag = any_tag);
 
   // --- Collectives ---------------------------------------------------------
   // All ranks must call each collective in the same order. Byte-level entry
-  // points dispatch on the backend; the typed templates below wrap them.
+  // points dispatch on the backend; the typed templates below wrap them. The
+  // defaulted source_location captures the user call site for the
+  // correctness checker's diagnostics (par/check.h); it is never passed
+  // explicitly.
 
-  void barrier();
+  void barrier(std::source_location loc = std::source_location::current());
 
   /// In-place broadcast: on the root `buf` is the payload; on every other
   /// rank `buf` is replaced by the root's payload (resized as needed).
-  void bcast_bytes(std::vector<std::byte>& buf, int root);
+  void bcast_bytes(std::vector<std::byte>& buf, int root,
+                   std::source_location loc = std::source_location::current());
 
   /// Gather `nbytes` bytes from every rank; result[r] is rank r's payload.
   /// All ranks must pass the same nbytes (use allgatherv_bytes otherwise).
-  std::vector<std::vector<std::byte>> allgather_bytes(const void* data, std::size_t nbytes);
+  std::vector<std::vector<std::byte>> allgather_bytes(
+      const void* data, std::size_t nbytes,
+      std::source_location loc = std::source_location::current());
 
   /// Variable-length gather; result[r] is rank r's payload.
-  std::vector<std::vector<std::byte>> allgatherv_bytes(const void* data, std::size_t nbytes);
+  std::vector<std::vector<std::byte>> allgatherv_bytes(
+      const void* data, std::size_t nbytes,
+      std::source_location loc = std::source_location::current());
 
   /// Personalized all-to-all; sendbufs[d] goes to rank d, result[s] came from s.
-  std::vector<std::vector<std::byte>> alltoall_bytes(std::vector<std::vector<std::byte>> sendbufs);
+  std::vector<std::vector<std::byte>> alltoall_bytes(
+      std::vector<std::vector<std::byte>> sendbufs,
+      std::source_location loc = std::source_location::current());
 
   /// In-place combiner for the byte-level reductions: op(acc, in) folds `in`
   /// into `acc`; both point at `nbytes` bytes. Must be commutative (all
@@ -187,20 +211,24 @@ class Comm {
   using Combine = std::function<void(void* acc, const void* in)>;
 
   /// All ranks end with the reduction over every rank's `inout` contribution.
-  void allreduce_bytes(void* inout, std::size_t nbytes, const Combine& op);
+  void allreduce_bytes(void* inout, std::size_t nbytes, const Combine& op,
+                       std::source_location loc = std::source_location::current());
 
   /// The root ends with the reduction; other ranks' `inout` is unchanged.
-  void reduce_bytes(void* inout, std::size_t nbytes, int root, const Combine& op);
+  void reduce_bytes(void* inout, std::size_t nbytes, int root, const Combine& op,
+                    std::source_location loc = std::source_location::current());
 
   /// Exclusive scan: `prefix` must arrive holding the identity value and ends
   /// holding the fold of ranks [0, rank) contributions (`mine`).
-  void exscan_bytes(const void* mine, void* prefix, std::size_t nbytes, const Combine& op);
+  void exscan_bytes(const void* mine, void* prefix, std::size_t nbytes, const Combine& op,
+                    std::source_location loc = std::source_location::current());
 
   /// Gather one fixed-size value per rank.
   template <typename T>
-  std::vector<T> allgather(const T& v) {
+  std::vector<T> allgather(const T& v,
+                           std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto raw = allgather_bytes(&v, sizeof(T));
+    auto raw = allgather_bytes(&v, sizeof(T), loc);
     std::vector<T> out(raw.size());
     for (std::size_t r = 0; r < raw.size(); ++r) std::memcpy(&out[r], raw[r].data(), sizeof(T));
     return out;
@@ -208,9 +236,10 @@ class Comm {
 
   /// Gather a variable-length array from every rank; result[r] = rank r's array.
   template <typename T>
-  std::vector<std::vector<T>> allgatherv(std::span<const T> v) {
+  std::vector<std::vector<T>> allgatherv(
+      std::span<const T> v, std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto raw = allgatherv_bytes(v.data(), v.size_bytes());
+    auto raw = allgatherv_bytes(v.data(), v.size_bytes(), loc);
     std::vector<std::vector<T>> out(raw.size());
     for (std::size_t r = 0; r < raw.size(); ++r) {
       out[r].resize(raw[r].size() / sizeof(T));
@@ -219,52 +248,55 @@ class Comm {
     return out;
   }
   template <typename T>
-  std::vector<std::vector<T>> allgatherv(const std::vector<T>& v) {
-    return allgatherv(std::span<const T>(v));
+  std::vector<std::vector<T>> allgatherv(
+      const std::vector<T>& v, std::source_location loc = std::source_location::current()) {
+    return allgatherv(std::span<const T>(v), loc);
   }
 
   template <typename T>
-  T allreduce(T v, ReduceOp op) {
+  T allreduce(T v, ReduceOp op, std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
-    allreduce_bytes(&v, sizeof(T), combine_fn<T>(op));
+    allreduce_bytes(&v, sizeof(T), combine_fn<T>(op), loc);
     return v;
   }
 
   /// Reduction to one root (binomial tree on the p2p backend). Returns the
   /// reduced value on the root and the rank's own `v` elsewhere.
   template <typename T>
-  T reduce(T v, ReduceOp op, int root) {
+  T reduce(T v, ReduceOp op, int root,
+           std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
-    reduce_bytes(&v, sizeof(T), root, combine_fn<T>(op));
+    reduce_bytes(&v, sizeof(T), root, combine_fn<T>(op), loc);
     return v;
   }
 
   /// Exclusive prefix sum; rank 0 receives T{} (zero).
   template <typename T>
-  T exscan_sum(T v) {
+  T exscan_sum(T v, std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     T out{};
-    exscan_bytes(&v, &out, sizeof(T), combine_fn<T>(ReduceOp::sum));
+    exscan_bytes(&v, &out, sizeof(T), combine_fn<T>(ReduceOp::sum), loc);
     return out;
   }
 
   template <typename T>
-  T bcast(const T& v, int root) {
+  T bcast(const T& v, int root, std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> buf(sizeof(T));
     std::memcpy(buf.data(), &v, sizeof(T));
-    bcast_bytes(buf, root);
+    bcast_bytes(buf, root, loc);
     T out;
     std::memcpy(&out, buf.data(), sizeof(T));
     return out;
   }
 
   template <typename T>
-  std::vector<T> bcast_vector(const std::vector<T>& v, int root) {
+  std::vector<T> bcast_vector(const std::vector<T>& v, int root,
+                              std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> buf(v.size() * sizeof(T));
     if (!v.empty()) std::memcpy(buf.data(), v.data(), buf.size());
-    bcast_bytes(buf, root);
+    bcast_bytes(buf, root, loc);
     std::vector<T> out(buf.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), buf.data(), buf.size());
     return out;
@@ -272,14 +304,16 @@ class Comm {
 
   /// Typed personalized all-to-all: send[d] goes to rank d; result[s] from rank s.
   template <typename T>
-  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send) {
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& send,
+      std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::vector<std::byte>> raw(send.size());
     for (std::size_t d = 0; d < send.size(); ++d) {
       raw[d].resize(send[d].size() * sizeof(T));
       if (!send[d].empty()) std::memcpy(raw[d].data(), send[d].data(), raw[d].size());
     }
-    auto got = alltoall_bytes(std::move(raw));
+    auto got = alltoall_bytes(std::move(raw), loc);
     std::vector<std::vector<T>> out(got.size());
     for (std::size_t s = 0; s < got.size(); ++s) {
       out[s].resize(got[s].size() / sizeof(T));
@@ -297,6 +331,10 @@ class Comm {
   /// Collective: gather every rank's counters. The snapshot exchange itself
   /// is not counted. All ranks must call it together.
   CommStatsSnapshot stats_snapshot();
+
+  /// The world's correctness checker, or nullptr when checking is off. Used
+  /// by the annotation helpers in par/check.h (RegionGuard, note_access).
+  check::Checker* checker() const noexcept { return checker_; }
 
  private:
   template <typename T>
@@ -318,12 +356,20 @@ class Comm {
 
   // Implemented in comm.cc.
   void send_impl(bool coll, int dest, int tag, const void* data, std::size_t nbytes);
-  Message recv_impl(bool coll, int source, int tag, const char* what);
+  Message recv_impl(bool coll, int source, int tag, const char* what, check::Site site);
   void perturb();
   void maybe_kill();
 
   // Collective plumbing and algorithms, implemented in collectives.cc.
-  void coll_begin(Coll kind, std::size_t payload_bytes);
+  /// `invariant` is the fingerprint component every rank must agree on (the
+  /// payload size where the collective's contract makes it rank-invariant,
+  /// 0 otherwise); `root` likewise for rooted collectives.
+  void coll_begin(Coll kind, std::size_t payload_bytes, std::uint64_t invariant, int root,
+                  check::Site site);
+  /// Level-2 result pass: CRC the rank-invariant collective result and
+  /// cross-check it through the ledger (no-op below ESAMR_CHECK=2).
+  void coll_check_result(const void* data, std::size_t nbytes);
+  void coll_check_result(const std::vector<std::vector<std::byte>>& parts);
   int coll_tag(int round) const;
   void send_coll(int dest, int round, const void* data, std::size_t nbytes);
   Message recv_coll(int source, int round, Coll kind);
@@ -345,6 +391,8 @@ class Comm {
 
   World* world_;
   int rank_;
+  check::Checker* checker_ = nullptr;  ///< cached; null = checking off
+  check::Site coll_site_{};     ///< user call site of the collective in progress
   bool slow_rank_ = false;      ///< seeded per-rank slowdown selection
   bool kill_rank_ = false;      ///< seeded rank-kill victim selection
   int coll_tag_base_ = 0;       ///< tag base of the collective in progress

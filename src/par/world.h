@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 
+#include "par/check.h"
 #include "par/comm.h"
 
 namespace esamr::par {
@@ -28,6 +29,9 @@ class World {
     for (auto& m : mail) m = std::make_unique<Mailbox>(n);
     for (auto& m : coll_mail) m = std::make_unique<Mailbox>(n);
     for (auto& row : a2a) row.resize(static_cast<std::size_t>(n));
+    if (const int level = check::effective_level(opts.check); level > 0) {
+      checker = std::make_unique<check::Checker>(n, level);
+    }
   }
 
   struct Mailbox {
@@ -43,8 +47,9 @@ class World {
 
   /// The barrier primitive shared by Comm::barrier and the reference
   /// collectives. Throws TimeoutError (naming `rank` and the arrival count)
-  /// when opts.barrier_timeout_s expires.
-  void barrier_wait(int rank);
+  /// when opts.barrier_timeout_s expires. `site` is the user call site for
+  /// the checker's deadlock diagnostics.
+  void barrier_wait(int rank, check::Site site = {});
 
   /// Mark the section failed and wake every blocked rank so it can unwind.
   void poison() {
@@ -69,6 +74,7 @@ class World {
   std::vector<std::vector<std::vector<std::byte>>> a2a;  ///< [src][dst]
   std::vector<std::byte> bvec;                           ///< reference bcast
   std::vector<CommStats> stats;                          ///< per rank
+  std::unique_ptr<check::Checker> checker;               ///< null = checking off
   std::atomic<bool> poisoned{false};
 
  private:

@@ -335,6 +335,16 @@ void write_checkpoint(const forest::Forest<Dim>& f, std::uint64_t conn_id, std::
   f.for_each_local([&local](int t, const forest::Octant<Dim>& o) {
     local.push_back(forest::OctMsg{t, o.x, o.y, Dim == 3 ? o.z : 0, o.level});
   });
+  // The field vectors are rank-owned while the snapshot is gathered: every
+  // byte must travel through the allgatherv, never via direct peer reads.
+  std::vector<par::check::RegionGuard> field_guards;
+  if (par::check::enabled(comm)) {
+    field_guards.reserve(fields.size());
+    for (const NamedField& fld : fields) {
+      field_guards.emplace_back(comm, fld.data.data(), fld.data.size() * sizeof(double),
+                                "checkpoint field");
+    }
+  }
   const auto oct_parts = comm.allgatherv(local);
   std::vector<std::vector<std::vector<double>>> field_parts;
   field_parts.reserve(fields.size());

@@ -62,6 +62,12 @@ RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOption
       if (!on_fault(Fault::rank_failure, e.what())) throw;
     } catch (const par::TimeoutError& e) {
       if (!on_fault(Fault::timeout, e.what())) throw;
+    } catch (const par::check::CheckError& e) {
+      // The dynamic checker diagnoses a stuck world long before the timeout
+      // fires; treat its deadlock verdict as the same fault class. Races and
+      // collective mismatches are program bugs, not faults — propagate them.
+      if (e.kind() != par::check::Violation::deadlock) throw;
+      if (!on_fault(Fault::timeout, e.what())) throw;
     } catch (const CheckpointCorrupt& e) {
       if (!on_fault(Fault::corrupt, e.what())) throw;
     }

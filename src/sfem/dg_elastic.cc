@@ -56,7 +56,7 @@ ElasticWave<Dim, Real>::ElasticWave(
     Boundary boundary)
     : mesh_(mesh), boundary_(boundary) {
   const double t0 = par::thread_cpu_seconds();
-  const int np = mesh_->np, nv = mesh_->nv, npf = mesh_->npf;
+  const int np = mesh_->np, nv = mesh_->nv;
   const auto n = static_cast<std::size_t>(mesh_->n_local);
 
   // Precision-converted geometry tables (the "device transfer" of Fig. 10).

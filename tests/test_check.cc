@@ -1,0 +1,337 @@
+// Tests for the SPMD correctness checker (src/par/check.{h,cc}).
+//
+// Each detector is exercised both ways: a seeded violation of its class must
+// be reported with the right class, ranks, and call sites, and the
+// corresponding disciplined pattern must pass silently. Violations run in
+// throwaway worlds at P ∈ {2, 4, 16} (the `CheckRanks` parameter).
+#include "par/check.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "par/comm.h"
+
+namespace par = esamr::par;
+namespace check = esamr::par::check;
+
+namespace {
+
+par::RunOptions checked(int level = 1) {
+  par::RunOptions opts;
+  opts.check = level;
+  // Backstop: if a detector regresses, fail the test by timeout diagnostics
+  // instead of hanging the suite.
+  opts.recv_timeout_s = 20.0;
+  opts.barrier_timeout_s = 20.0;
+  return opts;
+}
+
+/// Runs `fn` at P ranks with checking on and returns the CheckError the
+/// world died with; fails the test if no CheckError surfaced.
+check::CheckError run_expect_violation(int p, const par::RunOptions& opts,
+                                       const std::function<void(par::Comm&)>& fn) {
+  try {
+    par::run(p, opts, fn);
+  } catch (const check::CheckError& e) {
+    return e;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "world died with a non-checker error: " << e.what();
+    return check::CheckError(check::Violation::race, {}, "wrong error");
+  }
+  ADD_FAILURE() << "checker did not fire";
+  return check::CheckError(check::Violation::race, {}, "no error");
+}
+
+}  // namespace
+
+class CheckRanks : public ::testing::TestWithParam<int> {};
+
+// --- Detector 1: happens-before races ---------------------------------------
+
+TEST_P(CheckRanks, CrossRankWriteWithoutMessageEdgeIsARace) {
+  const int p = GetParam();
+  // Rank 0 owns a buffer and publishes its address through a plain atomic —
+  // deliberately NOT through a message, so no happens-before edge exists.
+  // Rank 1 writes the buffer as soon as it sees the pointer.
+  std::vector<double> owned(64, 0.0);
+  std::atomic<double*> leaked{nullptr};
+  const auto err = run_expect_violation(p, checked(), [&](par::Comm& c) {
+    if (c.rank() == 0) {
+      check::RegionGuard guard(c, owned.data(), owned.size() * sizeof(double), "rank0 field");
+      leaked.store(owned.data());
+      // Stay alive (blocked in a legitimate recv) so the region outlives the
+      // racing write; rank 1 sends after it has raced.
+      c.recv(1, 99);
+    } else if (c.rank() == 1) {
+      double* ptr = nullptr;
+      while ((ptr = leaked.load()) == nullptr) {
+        std::this_thread::yield();
+      }
+      check::note_access(c, ptr, 8 * sizeof(double), /*write=*/true);
+      ptr[0] = 1.0;
+      c.send_value(0, 99, 1);
+    }
+  });
+  EXPECT_EQ(err.kind(), check::Violation::race);
+  ASSERT_EQ(err.ranks().size(), 2u);
+  EXPECT_EQ(err.ranks()[0], 0);
+  EXPECT_EQ(err.ranks()[1], 1);
+  const std::string what = err.what();
+  EXPECT_NE(what.find("rank0 field"), std::string::npos) << what;
+  EXPECT_NE(what.find("test_check.cc"), std::string::npos) << what;  // both call sites
+}
+
+TEST_P(CheckRanks, MessageEdgeLegitimizesCrossRankAccess) {
+  const int p = GetParam();
+  std::vector<double> owned(64, 1.5);
+  par::run(GetParam(), checked(), [&](par::Comm& c) {
+    if (c.rank() == 0) {
+      check::RegionGuard guard(c, owned.data(), owned.size() * sizeof(double), "rank0 field");
+      // The send's vector-clock stamp is the happens-before edge making the
+      // peer's read legitimate.
+      c.send_value(1 % p, 7, owned.data());
+      c.recv(1 % p, 8);
+    } else if (c.rank() == 1) {
+      double* ptr = c.recv(0, 7).value<double*>();
+      check::note_access(c, ptr, 8 * sizeof(double), /*write=*/false);
+      EXPECT_EQ(ptr[0], 1.5);
+      c.send_value(0, 8, 1);
+    }
+  });
+}
+
+TEST_P(CheckRanks, BarrierLegitimizesCrossRankAccess) {
+  const int p = GetParam();
+  std::vector<int> owned(32, 3);
+  std::atomic<int*> leaked{nullptr};
+  par::run(p, checked(), [&](par::Comm& c) {
+    if (c.rank() == 0) {
+      leaked.store(owned.data());
+    }
+    check::RegionGuard guard;
+    if (c.rank() == 0) {
+      guard = check::RegionGuard(c, owned.data(), owned.size() * sizeof(int), "rank0 ints");
+    }
+    c.barrier();  // full synchronization: every rank is ordered after the registration
+    if (c.rank() == 1 % p && p > 1) {
+      check::note_access(c, leaked.load(), 4 * sizeof(int), /*write=*/false);
+      EXPECT_EQ(leaked.load()[0], 3);
+    }
+    c.barrier();  // owner must not unregister while the peer may still read
+  });
+}
+
+// --- Detector 2: collective matching ----------------------------------------
+
+TEST_P(CheckRanks, RankDependentCollectiveSequenceIsReported) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  const auto err = run_expect_violation(p, checked(), [&](par::Comm& c) {
+    // Divergent control flow: even ranks enter an allreduce while odd ranks
+    // enter an allgather — the classic rank-dependent branch bug.
+    if (c.rank() % 2 == 0) {
+      c.allreduce(1, par::ReduceOp::sum);
+    } else {
+      c.allgather(c.rank());
+    }
+  });
+  EXPECT_EQ(err.kind(), check::Violation::collective_mismatch);
+  ASSERT_EQ(err.ranks().size(), 2u);
+  // The two disagreeing ranks have different parities.
+  EXPECT_NE(err.ranks()[0] % 2, err.ranks()[1] % 2);
+  const std::string what = err.what();
+  EXPECT_NE(what.find("test_check.cc"), std::string::npos) << what;
+  EXPECT_NE(what.find("collective #0"), std::string::npos) << what;
+}
+
+TEST_P(CheckRanks, DivergentReduceRootIsReported) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  const auto err = run_expect_violation(p, checked(), [&](par::Comm& c) {
+    // Same collective kind and size, but the root disagrees across ranks.
+    c.reduce(1, par::ReduceOp::sum, c.rank() == 0 ? 0 : 1);
+  });
+  EXPECT_EQ(err.kind(), check::Violation::collective_mismatch);
+  const std::string what = err.what();
+  EXPECT_NE(what.find("root="), std::string::npos) << what;
+}
+
+TEST_P(CheckRanks, DivergentAllreduceSizeIsReported) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  const auto err = run_expect_violation(p, checked(), [&](par::Comm& c) {
+    std::vector<double> v(c.rank() == 0 ? 4 : 2, 1.0);
+    c.allreduce_bytes(v.data(), v.size() * sizeof(double),
+                      [](void* acc, const void* in) {
+                        double a, b;
+                        std::memcpy(&a, acc, sizeof(double));
+                        std::memcpy(&b, in, sizeof(double));
+                        a += b;
+                        std::memcpy(acc, &a, sizeof(double));
+                      });
+  });
+  EXPECT_EQ(err.kind(), check::Violation::collective_mismatch);
+  EXPECT_NE(std::string(err.what()).find("invariant="), std::string::npos) << err.what();
+}
+
+TEST_P(CheckRanks, MatchingCollectivesPassBothBackendsAtLevel2) {
+  const int p = GetParam();
+  for (const par::Backend b : {par::Backend::p2p, par::Backend::reference}) {
+    par::RunOptions opts = checked(2);
+    opts.backend = b;
+    par::run(p, opts, [&](par::Comm& c) {
+      EXPECT_EQ(c.allreduce(1, par::ReduceOp::sum), p);
+      EXPECT_EQ(c.bcast(41, p - 1), 41);
+      const auto all = c.allgather(c.rank());
+      ASSERT_EQ(static_cast<int>(all.size()), p);
+      std::vector<int> var(static_cast<std::size_t>(c.rank()), c.rank());
+      const auto gathered = c.allgatherv(var);
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(gathered[static_cast<std::size_t>(r)].size(), static_cast<std::size_t>(r));
+      }
+      c.barrier();
+      EXPECT_EQ(c.exscan_sum(1), c.rank());
+    });
+  }
+}
+
+// --- Detector 3: deadlock ----------------------------------------------------
+
+TEST_P(CheckRanks, TagCycleIsDiagnosedBeforeTimeout) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  // A↔B tag cycle: rank 0 waits for tag 7 from rank 1, which waits for tag 9
+  // from rank 0; the matching sends can never happen. Every other rank sits
+  // in a barrier that the cycle members can never reach, so the whole world
+  // is provably stuck.
+  const double t0 = par::wall_seconds();
+  const auto err = run_expect_violation(p, checked(), [&](par::Comm& c) {
+    if (c.rank() == 0) {
+      c.recv(1, 7);
+      c.send_value(1, 9, 1);
+    } else if (c.rank() == 1) {
+      c.recv(0, 9);
+      c.send_value(0, 7, 1);
+    } else {
+      c.barrier();
+    }
+  });
+  const double elapsed = par::wall_seconds() - t0;
+  EXPECT_EQ(err.kind(), check::Violation::deadlock);
+  // All ranks are stuck: the two cycle members plus every barrier waiter.
+  ASSERT_EQ(err.ranks().size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) EXPECT_EQ(err.ranks()[static_cast<std::size_t>(r)], r);
+  const std::string what = err.what();
+  EXPECT_NE(what.find("tag=7"), std::string::npos) << what;
+  EXPECT_NE(what.find("tag=9"), std::string::npos) << what;
+  EXPECT_NE(what.find("test_check.cc"), std::string::npos) << what;
+  // Fired long before the 20 s recv timeout backstop.
+  EXPECT_LT(elapsed, 10.0);
+}
+
+TEST_P(CheckRanks, PendingDelayedMessageIsNotADeadlock) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  // Seeded injection delays the message; the detector must treat a delayed
+  // pending message as eventual progress, not a deadlock.
+  par::RunOptions opts = checked();
+  opts.inject.seed = 42;
+  opts.inject.max_delay_us = 200000.0;  // up to 0.2 s: several detect slices
+  par::run(p, opts, [&](par::Comm& c) {
+    if (c.rank() == 0) {
+      for (int r = 1; r < p; ++r) EXPECT_EQ(c.recv(r, 5).value<int>(), r);
+    } else {
+      c.send_value(0, 5, c.rank());
+    }
+  });
+}
+
+TEST_P(CheckRanks, SelfDeadlockOnAnySourceWhenAllPeersDone) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  // Wildcard recv with every peer already returned: nobody can ever send.
+  const auto err = run_expect_violation(p, checked(), [&](par::Comm& c) {
+    if (c.rank() == 0) c.recv(par::any_source, 123);
+  });
+  EXPECT_EQ(err.kind(), check::Violation::deadlock);
+  ASSERT_EQ(err.ranks().size(), 1u);
+  EXPECT_EQ(err.ranks()[0], 0);
+}
+
+// --- ESAMR_ASSERT ------------------------------------------------------------
+
+TEST(CheckAssert, PayloadInvariantsThrowDiagnostics) {
+  par::run(2, [](par::Comm& c) {
+    // Release-mode active, names the rank and call site, and still matches
+    // the pre-existing std::runtime_error contract.
+    EXPECT_THROW(c.send_value(7, 0, 1), check::AssertError);
+    EXPECT_THROW(c.send_value(7, 0, 1), std::runtime_error);
+    try {
+      c.send_value(-1, 0, 1);
+      FAIL() << "assert did not fire";
+    } catch (const check::AssertError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("rank " + std::to_string(c.rank())), std::string::npos) << what;
+      EXPECT_NE(what.find("comm.cc"), std::string::npos) << what;
+    }
+  });
+}
+
+TEST(CheckAssert, AlltoallSizeMismatchNamesRank) {
+  par::run(2, [](par::Comm& c) {
+    std::vector<std::vector<int>> wrong(1);  // needs one buffer per rank
+    EXPECT_THROW(c.alltoallv(wrong), check::AssertError);
+  });
+}
+
+TEST(CheckAssert, MessagePayloadShapeMismatch) {
+  par::run(1, [](par::Comm& c) {
+    c.send_value(0, 3, std::int32_t{5});
+    par::Message m = c.recv(0, 3);
+    EXPECT_THROW(m.as<double>(), check::AssertError);      // 4 bytes % 8 != 0
+    EXPECT_THROW(m.value<std::int8_t>(), check::AssertError);  // 4 elements, not 1
+    EXPECT_EQ(m.value<std::int32_t>(), 5);
+  });
+}
+
+// --- Lifecycle ---------------------------------------------------------------
+
+TEST(CheckLifecycle, ExplicitZeroOverridesEnvironment) {
+  par::RunOptions opts;
+  opts.check = 0;
+  par::run(2, opts, [](par::Comm& c) { EXPECT_EQ(c.checker(), nullptr); });
+}
+
+TEST(CheckLifecycle, EnabledReflectsLevel) {
+  par::run(2, checked(2), [](par::Comm& c) {
+    ASSERT_TRUE(check::enabled(c));
+    EXPECT_EQ(c.checker()->level(), 2);
+    EXPECT_EQ(c.checker()->nranks(), 2);
+  });
+}
+
+TEST(CheckLifecycle, CleanRunAtLevel1HasNoFalsePositives) {
+  // A busy but disciplined pipeline: p2p ping-pong, every collective kind,
+  // region guards used correctly.
+  par::run(4, checked(), [](par::Comm& c) {
+    const int p = c.size();
+    std::vector<int> mine(16, c.rank());
+    check::RegionGuard guard(c, mine.data(), mine.size() * sizeof(int), "mine");
+    for (int iter = 0; iter < 5; ++iter) {
+      c.send_value((c.rank() + 1) % p, 1, c.rank());
+      EXPECT_EQ(c.recv((c.rank() + p - 1) % p, 1).value<int>(), (c.rank() + p - 1) % p);
+      c.allreduce(1, par::ReduceOp::sum);
+      c.barrier();
+      c.allgatherv(mine);
+      c.exscan_sum(1);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CheckRanks, ::testing::Values(2, 4, 16));

@@ -79,7 +79,9 @@ TEST_P(AdvectionRanks, SpectralAccuracyWithDegree) {
     double prev = 1e300;
     for (int degree : {1, 2, 3, 4}) {
       const double err = advect_error_2d(c, degree, 2, 0.1);
-      if (degree > 1) EXPECT_LT(err, prev / 4.0) << "degree " << degree;
+      if (degree > 1) {
+        EXPECT_LT(err, prev / 4.0) << "degree " << degree;
+      }
       prev = err;
     }
     EXPECT_LT(prev, 2e-5);

@@ -42,7 +42,9 @@ void expect_global_cover(const Forest<Dim>& f) {
     const auto& [t0, o0] = all[i - 1];
     const auto& [t1, o1] = all[i];
     ASSERT_TRUE(t0 < t1 || (t0 == t1 && o0 < o1));
-    if (t0 == t1) ASSERT_FALSE(o0.overlaps(o1));
+    if (t0 == t1) {
+      ASSERT_FALSE(o0.overlaps(o1));
+    }
   }
   // Volume per tree adds to the root volume (exact in integer cell counts).
   std::vector<double> vol(static_cast<std::size_t>(f.num_trees()), 0.0);
@@ -129,7 +131,9 @@ TEST_P(ForestRanks, CoarsenRecursiveCollapsesToRoot) {
     f.partition([](int, const Octant<2>&) { return 1e-12; });  // tiny equal weights
     f.coarsen(true, [](int, const Octant<2>&) { return true; });
     EXPECT_EQ(f.num_global(), p == 1 ? 1 : f.num_global());
-    if (p == 1) EXPECT_EQ(f.num_global(), 1);
+    if (p == 1) {
+      EXPECT_EQ(f.num_global(), 1);
+    }
     expect_global_cover(f);
   });
 }

@@ -178,6 +178,13 @@ TEST_P(PerturbRanks, PipelineBitIdenticalUnderSupervisedRankKill) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PerturbRanks, ::testing::Values(2, 4, 7));
 
+// With ESAMR_CHECK armed the dynamic checker proves the deadlock and throws
+// CheckError long before the timeout; the tests below accept either
+// diagnostic, asserting the envelope details each path is contracted to name.
+namespace {
+bool checker_armed() { return esamr::par::check::effective_level(-1) > 0; }
+}  // namespace
+
 TEST(Deadlock, RecvTimeoutNamesRankAndEnvelope) {
   // A recv with no matching sender must fail within the timeout, naming the
   // blocked rank and the (source, tag) envelope it waited on.
@@ -188,6 +195,13 @@ TEST(Deadlock, RecvTimeoutNamesRankAndEnvelope) {
       if (c.rank() == 1) c.recv(0, 77);  // rank 0 never sends tag 77
     });
     FAIL() << "expected TimeoutError";
+  } catch (const par::check::CheckError& e) {
+    ASSERT_TRUE(checker_armed()) << e.what();
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("source=0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tag=77"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("recv"), std::string::npos) << msg;
   } catch (const par::TimeoutError& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
@@ -208,6 +222,9 @@ TEST(Deadlock, MismatchedTagDiagnosed) {
       if (c.rank() == 1) c.recv(0, 6);
     });
     FAIL() << "expected TimeoutError";
+  } catch (const par::check::CheckError& e) {
+    ASSERT_TRUE(checker_armed()) << e.what();
+    EXPECT_NE(std::string(e.what()).find("tag=6"), std::string::npos) << e.what();
   } catch (const par::TimeoutError& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("tag=6"), std::string::npos) << msg;
@@ -225,6 +242,9 @@ TEST(Deadlock, BarrierTimeoutNamesRankAndArrivals) {
       if (c.rank() != 0) c.barrier();  // rank 0 bails out
     });
     FAIL() << "expected TimeoutError";
+  } catch (const par::check::CheckError& e) {
+    ASSERT_TRUE(checker_armed()) << e.what();
+    EXPECT_NE(std::string(e.what()).find("barrier"), std::string::npos) << e.what();
   } catch (const par::TimeoutError& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("barrier"), std::string::npos) << msg;
@@ -243,6 +263,10 @@ TEST(Deadlock, CollectiveRecvTimeoutNamesCollective) {
       if (c.rank() == 0) c.allreduce(1, par::ReduceOp::sum);
     });
     FAIL() << "expected TimeoutError";
+  } catch (const par::check::CheckError& e) {
+    ASSERT_TRUE(checker_armed()) << e.what();
+    // The checker names the blocked collective recv rather than the kind.
+    EXPECT_NE(std::string(e.what()).find("collective"), std::string::npos) << e.what();
   } catch (const par::TimeoutError& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("allreduce"), std::string::npos) << msg;
