@@ -1,9 +1,10 @@
 // Comm v2 benchmark driver: per-collective byte volume of the p2p
 // (tree/recursive-doubling/ring) backend against the reference shared-slot
 // backend, a Figure-7-style per-phase breakdown of the AMR pipeline with
-// real message counts and byte volume from CommStats, and the runtime
+// real message counts and byte volume from CommStats, the runtime
 // overhead of the dynamic correctness checker (src/par/check.h) on a
-// comm-bound workload.
+// comm-bound workload, and the cost of the CRC32C message-integrity
+// envelopes (RunOptions::integrity) on the same workload.
 //
 // The paper's scalability analysis (§III) models collectives as O(log P)
 // tree algorithms over O(P) partition metadata; this driver shows the
@@ -39,6 +40,12 @@ struct PhaseRow {
 struct CheckRow {
   int level;
   double busy_s;
+};
+
+struct IntegrityRow {
+  bool on;
+  double busy_s;
+  std::int64_t bytes_verified;
 };
 
 /// Total bytes moved by one collective with a `payload`-byte per-rank input.
@@ -158,6 +165,50 @@ double checked_workload_busy_s(int p, int check_level, int iters) {
   return busy;
 }
 
+/// The checker workload rerun with the integrity envelopes toggled; returns
+/// busy seconds and the verified-byte volume the integrity layer covered.
+IntegrityRow integrity_workload(int p, bool integrity, int iters) {
+  par::RunOptions opts;
+  opts.integrity = integrity;
+  IntegrityRow row{integrity, 0.0, 0};
+  par::run(p, opts, [&](par::Comm& c) {
+    std::vector<int> mine(64, c.rank());
+    const double busy = bench::timed_max(c, [&] {
+      for (int it = 0; it < iters; ++it) {
+        c.send_value((c.rank() + 1) % p, 1, it);
+        (void)c.recv((c.rank() + p - 1) % p, 1);
+        c.allreduce(1, par::ReduceOp::sum);
+        c.allgatherv(mine);
+        c.bcast(it, it % p);
+        c.barrier();
+      }
+    });
+    const auto snap = c.stats_snapshot();
+    if (c.rank() == 0) {
+      row.busy_s = busy;
+      row.bytes_verified = snap.total.bytes_verified;
+    }
+  });
+  return row;
+}
+
+std::vector<IntegrityRow> integrity_table(int p, int iters) {
+  std::printf("\n=== message-integrity envelope overhead (P=%d, same workload) ===\n", p);
+  std::printf("%-22s %12s %14s %10s\n", "configuration", "busy s", "verified B", "overhead");
+  std::vector<IntegrityRow> rows;
+  rows.push_back(integrity_workload(p, false, iters));
+  rows.push_back(integrity_workload(p, true, iters));
+  const double base = rows[0].busy_s;
+  for (const auto& r : rows) {
+    std::printf("%-22s %12.4f %14" PRId64 " %9.1f%%\n",
+                r.on ? "integrity on (default)" : "integrity off", r.busy_s, r.bytes_verified,
+                100.0 * (r.busy_s - base) / base);
+  }
+  std::printf("(CRC32C stamped at the sender, verified at every receiver;\n");
+  std::printf(" off = ESAMR_INTEGRITY=0, the unprotected fast path)\n");
+  return rows;
+}
+
 std::vector<CheckRow> checker_table(int p, int iters) {
   std::printf("\n=== dynamic checker overhead (P=%d, %d iterations of ping-pong + "
               "allreduce/allgatherv/bcast/barrier) ===\n",
@@ -180,7 +231,8 @@ std::vector<CheckRow> checker_table(int p, int iters) {
 }
 
 void write_json(const char* path, int p, std::size_t payload, const std::vector<VolumeRow>& vols,
-                const std::vector<PhaseRow>& phases, const std::vector<CheckRow>& checks) {
+                const std::vector<PhaseRow>& phases, const std::vector<CheckRow>& checks,
+                const std::vector<IntegrityRow>& integ) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_comm: cannot open %s for writing\n", path);
@@ -213,6 +265,15 @@ void write_json(const char* path, int p, std::size_t payload, const std::vector<
                  checks[i].level, checks[i].busy_s, (checks[i].busy_s - base) / base,
                  i + 1 < checks.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"integrity_overhead\": [\n");
+  const double ibase = integ.empty() ? 1.0 : integ[0].busy_s;
+  for (std::size_t i = 0; i < integ.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"integrity\": %s, \"busy_s\": %.6f, \"bytes_verified\": %" PRId64
+                 ", \"overhead\": %.4f}%s\n",
+                 integ[i].on ? "true" : "false", integ[i].busy_s, integ[i].bytes_verified,
+                 (integ[i].busy_s - ibase) / ibase, i + 1 < integ.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path);
@@ -240,6 +301,7 @@ int main(int argc, char** argv) {
   const auto vols = volume_table(p, payload);
   const auto phases = phase_table(std::min(p, 8));
   const auto checks = checker_table(std::min(p, 8), 200);
-  if (json_path != nullptr) write_json(json_path, p, payload, vols, phases, checks);
+  const auto integ = integrity_table(std::min(p, 8), 200);
+  if (json_path != nullptr) write_json(json_path, p, payload, vols, phases, checks, integ);
   return 0;
 }

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   std::printf("=== Fig. 7: mantle convection runtime shares (Rhea substitute) ===\n");
   std::printf("paper (13.8K/27.6K/55.1K cores): solve 33.6/21.7/16.3%%,\n");
   std::printf("V-cycle 66.2/78.0/83.4%%, AMR 0.07/0.10/0.12%%\n\n");
-  std::printf("%6s %6s %10s %8s | %8s %8s %8s | %10s %10s\n", "ranks", "size", "elements",
-              "minres", "solve%", "vcycle%", "AMR%", "comm msgs", "comm MB");
+  std::printf("%6s %6s %10s %8s | %8s %8s %8s | %10s %10s %11s\n", "ranks", "size", "elements",
+              "minres", "solve%", "vcycle%", "AMR%", "comm msgs", "comm MB", "verified MB");
   // The paper's 0.07-0.12%% AMR share comes from a 150M-element, 1e9-dof
   // problem; at laptop scale the same trend appears as a decreasing AMR
   // share with problem size (the "size" column below) at fixed ranks,
@@ -62,10 +62,11 @@ int main(int argc, char** argv) {
       if (comm.rank() == 0) comm_total = snap.total;
     });
     const double total = amr + solve + vcyc;
-    std::printf("%6d %6d %10" PRId64 " %8d | %7.1f%% %7.1f%% %7.2f%% | %10" PRId64 " %10.1f\n",
+    std::printf("%6d %6d %10" PRId64 " %8d | %7.1f%% %7.1f%% %7.2f%% | %10" PRId64 " %10.1f %11.1f\n",
                 p, size, elements, iters, 100.0 * solve / total, 100.0 * vcyc / total,
                 100.0 * amr / total, comm_total.total_msgs(),
-                static_cast<double>(comm_total.total_bytes()) / (1024.0 * 1024.0));
+                static_cast<double>(comm_total.total_bytes()) / (1024.0 * 1024.0),
+                static_cast<double>(comm_total.bytes_verified) / (1024.0 * 1024.0));
   }
   std::printf("\n(V-cycle dominates and the AMR share falls rapidly with problem size —\n");
   std::printf(" the trend behind the paper's 0.1%% at 150M elements / 1e9 dofs; the exact\n");

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the chaos campaign (tests labeled `chaos`) against an existing build:
+# fault classes (delays, rank kill, payload corruption, disk faults,
+# combined) x seeds x rank counts, asserting every run terminates in one of
+# three outcomes — bit-identical success, diagnosed fault + recovery to the
+# bit-identical answer, or a clean diagnosed abort — never a hang or a
+# silent wrong answer (see tests/test_chaos.cc).
+#
+#   scripts/chaos.sh [build-dir]       default build dir: ./build
+#
+# Pass ESAMR_CHECK=1 in the environment to rerun the campaign with the
+# dynamic correctness checker armed (ctest's `check` label does the same).
+set -u
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+if [[ $# -ge 1 ]]; then shift; fi
+
+if [[ ! -d "${build_dir}" ]]; then
+  echo "chaos.sh: build dir '${build_dir}' missing."
+  echo "          configure with: cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j"
+  exit 2
+fi
+
+echo "chaos.sh: running the chaos campaign (ctest -L chaos) in ${build_dir}"
+if ! ctest --test-dir "${build_dir}" -L chaos --output-on-failure "$@"; then
+  echo "chaos.sh: FAILED — a chaos run hung, produced a silent wrong answer, or died undiagnosed"
+  exit 1
+fi
+echo "chaos.sh: OK — every chaos run terminated in a classified outcome"

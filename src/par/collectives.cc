@@ -115,6 +115,7 @@ void Comm::send_coll(int dest, int round, const void* data, std::size_t nbytes) 
 Message Comm::recv_coll(int source, int round, Coll kind) {
   const double t0 = wall_seconds();
   Message m = recv_impl(true, source, coll_tag(round), coll_name(kind), coll_site_);
+  verify_envelope(m, coll_name(kind));
   stats().recv_blocked_s += wall_seconds() - t0;
   return m;
 }
@@ -127,6 +128,10 @@ std::vector<std::vector<std::byte>> Comm::ref_gather(const void* data, std::size
   auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
   slot.resize(nbytes);
   if (nbytes > 0) std::memcpy(slot.data(), data, nbytes);
+  // Seal (and under injection possibly corrupt) before the region guard: a
+  // truncating/duplicating fault reallocates the vector, and the guard must
+  // cover the bytes peers will actually read.
+  seal_shared(slot, world_->slot_seals[static_cast<std::size_t>(rank_)]);
   // Dogfood detector 1 on the runtime's own shared-slot pattern: the slot is
   // this rank's region until the collective completes; peers read it only
   // after the barrier supplies the happens-before edge.
@@ -138,6 +143,10 @@ std::vector<std::vector<std::byte>> Comm::ref_gather(const void* data, std::size
       const auto& peer = world_->slots[static_cast<std::size_t>(r)];
       check::note_access(*this, peer.data(), peer.size(), /*write=*/false);
     }
+  }
+  for (int r = 0; r < p; ++r) {
+    verify_shared(world_->slots[static_cast<std::size_t>(r)],
+                  world_->slot_seals[static_cast<std::size_t>(r)], r, "ref_gather");
   }
   std::vector<std::vector<std::byte>> out(world_->slots.begin(), world_->slots.end());
   if (count) {
@@ -156,12 +165,14 @@ void Comm::ref_bcast(std::vector<std::byte>& buf, int root) {
   auto& st = stats();
   if (rank_ == root) {
     world_->bvec = buf;
+    seal_shared(world_->bvec, world_->bvec_seal);
     ++st.coll_msgs;
     st.coll_bytes += static_cast<std::int64_t>(buf.size());
   }
   timed_barrier(world_, rank_, coll_site_);
   if (rank_ != root) {
     buf = world_->bvec;
+    verify_shared(buf, world_->bvec_seal, root, "ref_bcast");
     ++st.coll_msgs;
     st.coll_bytes += static_cast<std::int64_t>(buf.size());
   }
@@ -180,11 +191,16 @@ void Comm::ref_reduce(void* inout, std::size_t nbytes, int root, const Combine& 
   auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
   slot.resize(nbytes);
   if (nbytes > 0) std::memcpy(slot.data(), inout, nbytes);
+  seal_shared(slot, world_->slot_seals[static_cast<std::size_t>(rank_)]);
   auto& st = stats();
   ++st.coll_msgs;
   st.coll_bytes += static_cast<std::int64_t>(nbytes);
   timed_barrier(world_, rank_, coll_site_);
   if (rank_ == root) {
+    for (int r = 0; r < p; ++r) {
+      verify_shared(world_->slots[static_cast<std::size_t>(r)],
+                    world_->slot_seals[static_cast<std::size_t>(r)], r, "ref_reduce");
+    }
     std::vector<std::byte> acc(world_->slots[0]);
     for (int r = 1; r < p; ++r) op(acc.data(), world_->slots[static_cast<std::size_t>(r)].data());
     st.coll_msgs += p - 1;
@@ -198,11 +214,14 @@ void Comm::ref_exscan(const void* mine, void* prefix, std::size_t nbytes, const 
   auto& slot = world_->slots[static_cast<std::size_t>(rank_)];
   slot.resize(nbytes);
   if (nbytes > 0) std::memcpy(slot.data(), mine, nbytes);
+  seal_shared(slot, world_->slot_seals[static_cast<std::size_t>(rank_)]);
   auto& st = stats();
   ++st.coll_msgs;
   st.coll_bytes += static_cast<std::int64_t>(nbytes);
   timed_barrier(world_, rank_, coll_site_);
   for (int r = 0; r < rank_; ++r) {
+    verify_shared(world_->slots[static_cast<std::size_t>(r)],
+                  world_->slot_seals[static_cast<std::size_t>(r)], r, "ref_exscan");
     op(prefix, world_->slots[static_cast<std::size_t>(r)].data());
     ++st.coll_msgs;
     st.coll_bytes += static_cast<std::int64_t>(nbytes);
@@ -220,6 +239,10 @@ std::vector<std::vector<std::byte>> Comm::ref_alltoall(
       st.coll_bytes += static_cast<std::int64_t>(sendbufs[static_cast<std::size_t>(d)].size());
     }
   }
+  auto& seals = world_->a2a_seals[static_cast<std::size_t>(rank_)];
+  for (int d = 0; d < p; ++d) {
+    seal_shared(sendbufs[static_cast<std::size_t>(d)], seals[static_cast<std::size_t>(d)]);
+  }
   world_->a2a[static_cast<std::size_t>(rank_)] = std::move(sendbufs);
   timed_barrier(world_, rank_, coll_site_);
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
@@ -227,6 +250,9 @@ std::vector<std::vector<std::byte>> Comm::ref_alltoall(
     // a2a[s][rank_] is read by exactly one rank (this one), so moving is safe.
     out[static_cast<std::size_t>(s)] =
         std::move(world_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)]);
+    verify_shared(out[static_cast<std::size_t>(s)],
+                  world_->a2a_seals[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)],
+                  s, "ref_alltoall");
     if (s != rank_) {
       ++st.coll_msgs;
       st.coll_bytes += static_cast<std::int64_t>(out[static_cast<std::size_t>(s)].size());

@@ -1,6 +1,7 @@
 #include "par/comm.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <exception>
@@ -109,9 +110,12 @@ Comm::Comm(World* world, int rank)
     : world_(world), rank_(rank), checker_(world->checker.get()),
       slow_rank_(detail::is_slow_rank(world->opts.inject, rank)),
       kill_rank_(detail::is_kill_rank(world->opts.inject, rank)),
+      integrity_(world->opts.integrity),
       send_seq_(static_cast<std::size_t>(world->size), 0) {}
 
 int Comm::size() const noexcept { return world_->size; }
+
+const InjectConfig& Comm::inject_config() const noexcept { return world_->opts.inject; }
 
 Backend Comm::backend() const noexcept { return world_->opts.backend; }
 
@@ -142,13 +146,23 @@ void Comm::send_impl(bool coll, int dest, int tag, const void* data, std::size_t
   msg.data.resize(nbytes);
   if (nbytes > 0) std::memcpy(msg.data.data(), data, nbytes);
   if (checker_ != nullptr) checker_->on_send(rank_, msg);
+  if (integrity_) {
+    msg.seal.crc = check::Checker::crc32c(msg.data.data(), msg.data.size());
+    msg.seal.nbytes = msg.data.size();
+    msg.seal.stamped = true;
+  }
 
+  // Delays and payload corruption share the per-(src, dst) sequence stream,
+  // so either class alone (or both together) sees the same seeded victims.
   const auto& inj = world_->opts.inject;
   double vis = 0.0;
-  if (inj.delays_enabled()) {
-    const double us =
-        detail::delay_us(inj, rank_, dest, send_seq_[static_cast<std::size_t>(dest)]++);
-    if (us > 0.0) vis = wall_seconds() + us * 1e-6;
+  if (inj.delays_enabled() || inj.corrupt_enabled()) {
+    const std::uint64_t seq = send_seq_[static_cast<std::size_t>(dest)]++;
+    if (inj.corrupt_enabled()) detail::corrupt_payload(inj, rank_, dest, seq, msg.data);
+    if (inj.delays_enabled()) {
+      const double us = detail::delay_us(inj, rank_, dest, seq);
+      if (us > 0.0) vis = wall_seconds() + us * 1e-6;
+    }
   }
 
   auto& box = coll ? *world_->coll_mail[static_cast<std::size_t>(dest)]
@@ -235,6 +249,53 @@ Message Comm::recv_impl(bool coll, int source, int tag, const char* what, check:
   }
 }
 
+void Comm::verify_envelope(const Message& m, const char* what) {
+  if (!integrity_ || !m.seal.stamped) return;
+  auto& st = stats();
+  st.bytes_verified += static_cast<std::int64_t>(m.data.size());
+  const std::uint32_t got = check::Checker::crc32c(m.data.data(), m.data.size());
+  if (m.data.size() == m.seal.nbytes && got == m.seal.crc) return;
+  ++st.corrupt_detected;
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "esamr::par corrupt message: rank %d detected payload corruption in %s from "
+                "rank %d tag %d (sent %llu B crc 0x%08x, received %zu B crc 0x%08x)",
+                rank_, what, m.source, m.tag,
+                static_cast<unsigned long long>(m.seal.nbytes), m.seal.crc, m.data.size(), got);
+  throw CorruptMessage(rank_, m.source, buf);
+}
+
+void Comm::seal_shared(std::vector<std::byte>& buf, Seal& seal) {
+  seal = Seal{};
+  if (integrity_) {
+    seal.crc = check::Checker::crc32c(buf.data(), buf.size());
+    seal.nbytes = buf.size();
+    seal.stamped = true;
+  }
+  // Shared-slot writes count as messages on the (writer, P) corruption
+  // stream — P is not a real rank, so the stream is distinct from every
+  // point-to-point pair.
+  const auto& inj = world_->opts.inject;
+  if (inj.corrupt_enabled()) detail::corrupt_payload(inj, rank_, size(), shared_seq_++, buf);
+}
+
+void Comm::verify_shared(const std::vector<std::byte>& buf, const Seal& seal, int writer,
+                         const char* what) {
+  if (!integrity_ || !seal.stamped) return;
+  auto& st = stats();
+  st.bytes_verified += static_cast<std::int64_t>(buf.size());
+  const std::uint32_t got = check::Checker::crc32c(buf.data(), buf.size());
+  if (buf.size() == seal.nbytes && got == seal.crc) return;
+  ++st.corrupt_detected;
+  char msg[224];
+  std::snprintf(msg, sizeof(msg),
+                "esamr::par corrupt message: rank %d detected shared-slot corruption in %s "
+                "written by rank %d (wrote %llu B crc 0x%08x, read %zu B crc 0x%08x)",
+                rank_, what, writer, static_cast<unsigned long long>(seal.nbytes), seal.crc,
+                buf.size(), got);
+  throw CorruptMessage(rank_, writer, msg);
+}
+
 void Comm::send_bytes(int dest, int tag, const void* data, std::size_t nbytes) {
   maybe_kill();
   perturb();
@@ -249,6 +310,7 @@ Message Comm::recv(int source, int tag, std::source_location loc) {
   perturb();
   const double t0 = wall_seconds();
   Message out = recv_impl(false, source, tag, "recv", check::Site::of(loc));
+  verify_envelope(out, "recv");
   auto& st = stats();
   st.recv_blocked_s += wall_seconds() - t0;
   ++st.p2p_recvs;
@@ -314,6 +376,16 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
       opts.backend = Backend::p2p;
     } else if (!v.empty()) {
       throw std::runtime_error("par::run: bad ESAMR_COMM_BACKEND (want reference|p2p)");
+    }
+  }
+  if (const char* env = std::getenv("ESAMR_INTEGRITY")) {
+    const std::string_view v(env);
+    if (v == "0") {
+      opts.integrity = false;
+    } else if (v == "1") {
+      opts.integrity = true;
+    } else if (!v.empty()) {
+      throw std::runtime_error("par::run: bad ESAMR_INTEGRITY (want 0|1)");
     }
   }
   run(nranks, opts, fn);

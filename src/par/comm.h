@@ -59,6 +59,13 @@ enum class Backend { reference, p2p };
 struct RunOptions {
   Backend backend = Backend::p2p;
   InjectConfig inject{};
+  /// End-to-end message integrity: senders stamp a CRC32C + length envelope
+  /// on every payload (point-to-point, collective-internal, and the
+  /// reference backend's shared slots) and receivers verify it before the
+  /// bytes are used, throwing CorruptMessage on mismatch. Default on; set
+  /// false (or ESAMR_INTEGRITY=0 for par::run calls without explicit
+  /// options) to measure the unprotected fast path (bench_comm).
+  bool integrity = true;
   /// recv (point-to-point and inside collectives) fails with TimeoutError
   /// after this many seconds without a matching visible message; 0 = wait
   /// forever.
@@ -98,11 +105,42 @@ class RankFailure : public std::runtime_error {
   int rank_;
 };
 
+/// Thrown by the receiving rank when a message payload fails its integrity
+/// envelope (CRC32C + length stamped at the sender): a silent-data-corruption
+/// event turned into a diagnosed fault. The message names the receiver, the
+/// sender, and both the expected and observed (bytes, CRC). Like any rank
+/// error it poisons the world; resil::supervise classifies it as recoverable
+/// and retries from the last snapshot.
+class CorruptMessage : public std::runtime_error {
+ public:
+  CorruptMessage(int rank, int source, const std::string& what)
+      : std::runtime_error(what), rank_(rank), source_(source) {}
+  /// The rank that detected the corruption (the receiver).
+  int rank() const noexcept { return rank_; }
+  /// The rank whose payload arrived corrupted.
+  int source() const noexcept { return source_; }
+
+ private:
+  int rank_;
+  int source_;
+};
+
+/// CRC32C + length integrity envelope stamped on a payload at the sender
+/// (or shared-slot writer) and verified at every receiver.
+struct Seal {
+  std::uint32_t crc = 0;
+  std::uint64_t nbytes = 0;
+  bool stamped = false;  ///< false = integrity was off at the writer
+};
+
 /// A received point-to-point message: envelope plus raw payload bytes.
 struct Message {
   int source = any_source;
   int tag = any_tag;
   std::vector<std::byte> data;
+  /// Integrity envelope (RunOptions::integrity): the payload CRC32C and byte
+  /// count at send time, verified by the receiver before `data` is used.
+  Seal seal;
   /// Internal: earliest wall time (par::wall_seconds) at which the message
   /// is visible to recv/iprobe under fault injection. 0 = immediately.
   double visible_at = 0.0;
@@ -336,6 +374,13 @@ class Comm {
   /// by the annotation helpers in par/check.h (RegionGuard, note_access).
   check::Checker* checker() const noexcept { return checker_; }
 
+  /// The section's fault-injection configuration (RunOptions::inject). The
+  /// checkpoint writer consults it for seeded disk faults.
+  const InjectConfig& inject_config() const noexcept;
+
+  /// True when message-integrity envelopes are on (RunOptions::integrity).
+  bool integrity() const noexcept { return integrity_; }
+
  private:
   template <typename T>
   static Combine combine_fn(ReduceOp op) {
@@ -359,6 +404,16 @@ class Comm {
   Message recv_impl(bool coll, int source, int tag, const char* what, check::Site site);
   void perturb();
   void maybe_kill();
+  /// Verify a received message's integrity envelope; counts bytes_verified /
+  /// corrupt_detected and throws CorruptMessage on mismatch. `what` names the
+  /// operation (recv / collective) for the diagnostic.
+  void verify_envelope(const Message& m, const char* what);
+  /// Stamp (and possibly corrupt, under injection) a reference-backend shared
+  /// buffer this rank just wrote; the seal travels through the World.
+  void seal_shared(std::vector<std::byte>& buf, Seal& seal);
+  /// Verify a shared buffer written by `writer` against its seal.
+  void verify_shared(const std::vector<std::byte>& buf, const Seal& seal, int writer,
+                     const char* what);
 
   // Collective plumbing and algorithms, implemented in collectives.cc.
   /// `invariant` is the fingerprint component every rank must agree on (the
@@ -395,10 +450,12 @@ class Comm {
   check::Site coll_site_{};     ///< user call site of the collective in progress
   bool slow_rank_ = false;      ///< seeded per-rank slowdown selection
   bool kill_rank_ = false;      ///< seeded rank-kill victim selection
+  bool integrity_ = true;       ///< cached RunOptions::integrity
   int coll_tag_base_ = 0;       ///< tag base of the collective in progress
   std::uint64_t coll_seq_ = 0;  ///< collectives issued (lockstep across ranks)
   std::uint64_t op_seq_ = 0;    ///< perturbation stream position
   std::uint64_t kill_op_seq_ = 0;        ///< comm ops counted toward the kill
+  std::uint64_t shared_seq_ = 0;         ///< shared-slot writes (corruption stream)
   std::vector<std::uint64_t> send_seq_;  ///< per-destination send counters
 };
 

@@ -41,4 +41,92 @@ double slow_op_sleep_us(const InjectConfig& cfg, int rank, std::uint64_t op_seq)
          cfg.slow_op_us;
 }
 
+namespace {
+
+/// The 64-bit selection/kind hash shared by the payload-fault functions.
+std::uint64_t payload_hash(const InjectConfig& cfg, int src, int dst, std::uint64_t seq) {
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+  return mix64(mix64(cfg.seed ^ 0xc0220000ULL ^ mix64(pair)) ^ seq);
+}
+
+}  // namespace
+
+const char* payload_fault_name(PayloadFault f) {
+  switch (f) {
+    case PayloadFault::none: return "none";
+    case PayloadFault::bitflip: return "bitflip";
+    case PayloadFault::truncate: return "truncate";
+    case PayloadFault::duplicate: return "duplicate";
+  }
+  return "?";
+}
+
+PayloadFault payload_fault(const InjectConfig& cfg, int src, int dst, std::uint64_t seq) {
+  if (!cfg.corrupt_enabled()) return PayloadFault::none;
+  const std::uint64_t h = payload_hash(cfg, src, dst, seq);
+  if (h % static_cast<std::uint64_t>(cfg.corrupt_msg_stride) != 0) return PayloadFault::none;
+  // The kind comes from independent bits of the same hash.
+  switch ((h >> 17) % 3) {
+    case 0: return PayloadFault::bitflip;
+    case 1: return PayloadFault::truncate;
+    default: return PayloadFault::duplicate;
+  }
+}
+
+PayloadFault corrupt_payload(const InjectConfig& cfg, int src, int dst, std::uint64_t seq,
+                             std::vector<std::byte>& data) {
+  PayloadFault f = payload_fault(cfg, src, dst, seq);
+  if (f == PayloadFault::none) return f;
+  const std::uint64_t h = mix64(payload_hash(cfg, src, dst, seq) ^ 0x9a710000ULL);
+  const std::uint64_t n = data.size();
+  if (n == 0) {
+    // Nothing to flip or drop: grow the empty payload by one hashed byte
+    // (duplication-style garbage), still caught by the length envelope.
+    data.push_back(static_cast<std::byte>(h & 0xff));
+    return PayloadFault::duplicate;
+  }
+  switch (f) {
+    case PayloadFault::bitflip: {
+      const std::uint64_t pos = h % n;
+      data[pos] ^= static_cast<std::byte>(1u << ((h >> 29) % 8));
+      break;
+    }
+    case PayloadFault::truncate: {
+      const std::uint64_t drop = 1 + h % n;  // 1..n bytes off the tail
+      data.resize(n - drop);
+      break;
+    }
+    case PayloadFault::duplicate: {
+      const std::uint64_t len = 1 + h % (n < 64 ? n : 64);
+      data.insert(data.end(), data.begin(),
+                  data.begin() + static_cast<std::ptrdiff_t>(len));
+      break;
+    }
+    case PayloadFault::none: break;
+  }
+  return f;
+}
+
+const char* disk_fault_name(DiskFault f) {
+  switch (f) {
+    case DiskFault::none: return "none";
+    case DiskFault::torn_tail: return "torn_tail";
+    case DiskFault::truncate: return "truncate";
+    case DiskFault::eio: return "eio";
+  }
+  return "?";
+}
+
+DiskFault disk_fault(const InjectConfig& cfg, std::uint64_t step, std::uint64_t attempt) {
+  if (!cfg.disk_enabled()) return DiskFault::none;
+  const std::uint64_t h = mix64(mix64(cfg.seed ^ 0xd15c0000ULL ^ mix64(step)) ^ attempt);
+  if (h % static_cast<std::uint64_t>(cfg.disk_fault_stride) != 0) return DiskFault::none;
+  switch ((h >> 23) % 3) {
+    case 0: return DiskFault::torn_tail;
+    case 1: return DiskFault::truncate;
+    default: return DiskFault::eio;
+  }
+}
+
 }  // namespace esamr::par::detail

@@ -31,6 +31,8 @@ CommStats& CommStats::operator+=(const CommStats& o) {
     coll_payload_bytes[static_cast<std::size_t>(k)] +=
         o.coll_payload_bytes[static_cast<std::size_t>(k)];
   }
+  corrupt_detected += o.corrupt_detected;
+  bytes_verified += o.bytes_verified;
   recv_blocked_s += o.recv_blocked_s;
   barrier_blocked_s += o.barrier_blocked_s;
   return *this;
@@ -48,6 +50,8 @@ CommStats& CommStats::operator-=(const CommStats& o) {
     coll_payload_bytes[static_cast<std::size_t>(k)] -=
         o.coll_payload_bytes[static_cast<std::size_t>(k)];
   }
+  corrupt_detected -= o.corrupt_detected;
+  bytes_verified -= o.bytes_verified;
   recv_blocked_s -= o.recv_blocked_s;
   barrier_blocked_s -= o.barrier_blocked_s;
   return *this;
@@ -71,6 +75,10 @@ std::string summary(const CommStats& s) {
                   static_cast<long long>(s.coll_payload_bytes[static_cast<std::size_t>(k)]));
     out += line;
   }
+  std::snprintf(line, sizeof(line), "integrity: %lld B verified, %lld corrupt detected\n",
+                static_cast<long long>(s.bytes_verified),
+                static_cast<long long>(s.corrupt_detected));
+  out += line;
   std::snprintf(line, sizeof(line), "blocked: %.3f s in recv, %.3f s in barrier\n",
                 s.recv_blocked_s, s.barrier_blocked_s);
   out += line;

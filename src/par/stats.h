@@ -52,6 +52,13 @@ struct CommStats {
   std::array<std::int64_t, n_coll_kinds> coll_calls{};
   std::array<std::int64_t, n_coll_kinds> coll_payload_bytes{};
 
+  // Message-integrity layer (CRC32C envelopes; see DESIGN.md "Fault model").
+  // bytes_verified counts payload bytes whose envelope CRC was recomputed at
+  // the receiver; corrupt_detected counts envelopes that failed verification
+  // (each such failure also raised CorruptMessage).
+  std::int64_t corrupt_detected = 0;
+  std::int64_t bytes_verified = 0;
+
   // Wall time this rank spent blocked (includes blocking inside collectives).
   double recv_blocked_s = 0.0;
   double barrier_blocked_s = 0.0;

@@ -25,10 +25,12 @@ class World {
   World(int n, RunOptions options)
       : size(n), opts(std::move(options)), mail(static_cast<std::size_t>(n)),
         coll_mail(static_cast<std::size_t>(n)), slots(static_cast<std::size_t>(n)),
-        a2a(static_cast<std::size_t>(n)), stats(static_cast<std::size_t>(n)) {
+        slot_seals(static_cast<std::size_t>(n)), a2a(static_cast<std::size_t>(n)),
+        a2a_seals(static_cast<std::size_t>(n)), stats(static_cast<std::size_t>(n)) {
     for (auto& m : mail) m = std::make_unique<Mailbox>(n);
     for (auto& m : coll_mail) m = std::make_unique<Mailbox>(n);
     for (auto& row : a2a) row.resize(static_cast<std::size_t>(n));
+    for (auto& row : a2a_seals) row.resize(static_cast<std::size_t>(n));
     if (const int level = check::effective_level(opts.check); level > 0) {
       checker = std::make_unique<check::Checker>(n, level);
     }
@@ -71,8 +73,11 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mail;       ///< user point-to-point
   std::vector<std::unique_ptr<Mailbox>> coll_mail;  ///< collective-internal
   std::vector<std::vector<std::byte>> slots;        ///< reference allgather(v)
+  std::vector<Seal> slot_seals;                     ///< integrity seals for slots
   std::vector<std::vector<std::vector<std::byte>>> a2a;  ///< [src][dst]
+  std::vector<std::vector<Seal>> a2a_seals;              ///< [src][dst]
   std::vector<std::byte> bvec;                           ///< reference bcast
+  Seal bvec_seal;                                        ///< integrity seal for bvec
   std::vector<CommStats> stats;                          ///< per rank
   std::unique_ptr<check::Checker> checker;               ///< null = checking off
   std::atomic<bool> poisoned{false};

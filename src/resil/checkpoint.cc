@@ -1,6 +1,7 @@
 #include "resil/checkpoint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdio>
@@ -56,6 +57,42 @@ struct Image {
 
 [[noreturn]] void corrupt(const std::string& path, const std::string& what) {
   throw CheckpointCorrupt("checkpoint " + path + ": " + what);
+}
+
+// Process-wide commit-path counters (see disk_fault_stats in the header).
+std::atomic<std::int64_t> g_commits{0};
+std::atomic<std::int64_t> g_write_retries{0};
+std::atomic<std::int64_t> g_eio{0};
+std::atomic<std::int64_t> g_torn{0};
+std::atomic<std::int64_t> g_trunc{0};
+std::atomic<std::int64_t> g_verify_failures{0};
+
+/// Apply an injected disk fault to the assembled temp file before the
+/// reread-verify pass. The damage site is hashed from (seed, step, attempt)
+/// so it is deterministic yet fresh per retry.
+void apply_disk_fault(const std::string& tmp, par::detail::DiskFault fault, std::uint64_t seed,
+                      std::uint64_t step, std::uint64_t attempt) {
+  const std::uint64_t h =
+      par::detail::mix64(par::detail::mix64(seed ^ 0xd15cda7aULL ^ step) ^ attempt);
+  const auto fsize = static_cast<std::uint64_t>(fs::file_size(tmp));
+  if (fsize == 0) return;
+  if (fault == par::detail::DiskFault::truncate) {
+    ++g_trunc;
+    fs::resize_file(tmp, fsize - (1 + h % fsize));
+    return;
+  }
+  // torn_tail: garble up to 64 trailing bytes in place (a torn rewrite).
+  ++g_torn;
+  const std::uint64_t len = 1 + h % (fsize < 64 ? fsize : 64);
+  const auto mask = static_cast<unsigned char>((h >> 29) | 1u);  // nonzero
+  std::vector<unsigned char> tail(len);
+  io::CheckedFile fp(tmp, "r+b");
+  fp.seek(static_cast<long>(fsize - len));
+  fp.read_exact(tail.data(), tail.size());
+  for (unsigned char& b : tail) b = static_cast<unsigned char>(b ^ mask);
+  fp.seek(static_cast<long>(fsize - len));
+  fp.write(tail.data(), tail.size());
+  fp.close();
 }
 
 SectionDesc make_desc(const std::string& name, std::uint64_t offset, const void* data,
@@ -389,20 +426,55 @@ void write_checkpoint(const forest::Forest<Dim>& f, std::uint64_t conn_id, std::
           static_cast<std::uint32_t>(fields[i].per_oct));
     }
 
-    // Atomic publish: assemble under a temp name, rename over the target.
+    // Atomic publish with write-then-reread-verify: assemble under a temp
+    // name, reread it through the same CRC validation restore uses, and only
+    // then rename over the target. Injected disk faults (torn tail,
+    // truncation, transient EIO) are keyed on (seed, step, attempt), so each
+    // retry draws a fresh hash and the bounded loop converges.
     const std::string tmp = path + ".tmp";
-    {
-      io::CheckedFile fp(tmp, "wb");
-      fp.write(&h, sizeof(h));
-      fp.write(descs.data(), descs.size() * sizeof(SectionDesc));
-      fp.write(counts.data(), counts.size() * sizeof(std::uint64_t));
-      fp.write(octants.data(), octants.size() * sizeof(forest::OctMsg));
-      for (const auto& fd : field_data) fp.write(fd.data(), fd.size() * sizeof(double));
-      fp.close();
+    const par::InjectConfig& inj = comm.inject_config();
+    constexpr int max_write_attempts = 5;
+    for (int attempt = 0;; ++attempt) {
+      const auto fault = par::detail::disk_fault(inj, step, static_cast<std::uint64_t>(attempt));
+      if (fault == par::detail::DiskFault::eio) {
+        // The device refused the write; nothing was committed this attempt.
+        ++g_eio;
+        if (attempt + 1 >= max_write_attempts) {
+          corrupt(path, "persistent EIO while writing snapshot");
+        }
+        ++g_write_retries;
+        continue;
+      }
+      {
+        io::CheckedFile fp(tmp, "wb");
+        fp.write(&h, sizeof(h));
+        fp.write(descs.data(), descs.size() * sizeof(SectionDesc));
+        fp.write(counts.data(), counts.size() * sizeof(std::uint64_t));
+        fp.write(octants.data(), octants.size() * sizeof(forest::OctMsg));
+        for (const auto& fd : field_data) fp.write(fd.data(), fd.size() * sizeof(double));
+        fp.close();
+      }
+      if (fault != par::detail::DiskFault::none) {
+        apply_disk_fault(tmp, fault, inj.seed, step, static_cast<std::uint64_t>(attempt));
+      }
+      try {
+        load_image(tmp, Dim, conn_id, f.num_trees());
+        break;  // the bytes on disk round-trip every CRC: safe to publish
+      } catch (const std::runtime_error&) {
+        // CheckpointCorrupt or a short read: the attempt's bytes are bad.
+        ++g_verify_failures;
+        if (attempt + 1 >= max_write_attempts) {
+          std::remove(tmp.c_str());
+          corrupt(path, "write verification failed after " +
+                            std::to_string(max_write_attempts) + " attempts");
+        }
+        ++g_write_retries;
+      }
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
       throw std::runtime_error("write_checkpoint: cannot rename " + tmp + " to " + path);
     }
+    ++g_commits;
   }
   comm.barrier();  // checkpoint completion is a collective postcondition
 }
@@ -515,7 +587,16 @@ Restored<Dim> restore_latest(par::Comm& comm, const forest::Connectivity<Dim>& c
   return distribute<Dim>(comm, conn, std::move(img));
 }
 
-void corrupt_checkpoint_byte(const std::string& path, std::uint64_t seed) {
+const char* corrupt_kind_name(CorruptKind k) {
+  switch (k) {
+    case CorruptKind::byte_flip: return "byte_flip";
+    case CorruptKind::truncate_tail: return "truncate_tail";
+    case CorruptKind::torn_write: return "torn_write";
+  }
+  return "?";
+}
+
+void corrupt_checkpoint(const std::string& path, CorruptKind kind, std::uint64_t seed) {
   long fsize = 0;
   Header h{};
   {
@@ -526,21 +607,72 @@ void corrupt_checkpoint_byte(const std::string& path, std::uint64_t seed) {
   const long data_start =
       static_cast<long>(sizeof(Header) + h.num_sections * sizeof(SectionDesc));
   if (fsize <= data_start) {
-    throw std::runtime_error("corrupt_checkpoint_byte: no data region in " + path);
+    throw std::runtime_error("corrupt_checkpoint: no data region in " + path);
   }
+  const long data_len = fsize - data_start;
   const std::uint64_t hash = par::detail::mix64(seed ^ 0xc0440001ULL);
-  const long off =
-      data_start + static_cast<long>(hash % static_cast<std::uint64_t>(fsize - data_start));
-  const auto bit = static_cast<unsigned char>(1u << ((hash >> 37) % 8));
 
-  io::CheckedFile fp(path, "r+b");
-  unsigned char byte = 0;
-  fp.seek(off);
-  fp.read_exact(&byte, 1);
-  byte = static_cast<unsigned char>(byte ^ bit);
-  fp.seek(off);
-  fp.write(&byte, 1);
-  fp.close();
+  switch (kind) {
+    case CorruptKind::byte_flip: {
+      const long off = data_start + static_cast<long>(hash % static_cast<std::uint64_t>(data_len));
+      const auto bit = static_cast<unsigned char>(1u << ((hash >> 37) % 8));
+      io::CheckedFile fp(path, "r+b");
+      unsigned char byte = 0;
+      fp.seek(off);
+      fp.read_exact(&byte, 1);
+      byte = static_cast<unsigned char>(byte ^ bit);
+      fp.seek(off);
+      fp.write(&byte, 1);
+      fp.close();
+      break;
+    }
+    case CorruptKind::truncate_tail: {
+      // Cut into the data region so some section must extend past EOF.
+      const long drop = 1 + static_cast<long>(hash % static_cast<std::uint64_t>(data_len));
+      fs::resize_file(path, static_cast<std::uint64_t>(fsize - drop));
+      break;
+    }
+    case CorruptKind::torn_write: {
+      // XOR a hashed-length tail run with a nonzero mask: same file size,
+      // garbled final section — the torn-rewrite signature.
+      const long len =
+          1 + static_cast<long>(hash % static_cast<std::uint64_t>(std::min<long>(data_len, 64)));
+      const auto mask = static_cast<unsigned char>((hash >> 29) | 1u);
+      std::vector<unsigned char> tail(static_cast<std::size_t>(len));
+      io::CheckedFile fp(path, "r+b");
+      fp.seek(fsize - len);
+      fp.read_exact(tail.data(), tail.size());
+      for (unsigned char& b : tail) b = static_cast<unsigned char>(b ^ mask);
+      fp.seek(fsize - len);
+      fp.write(tail.data(), tail.size());
+      fp.close();
+      break;
+    }
+  }
+}
+
+void corrupt_checkpoint_byte(const std::string& path, std::uint64_t seed) {
+  corrupt_checkpoint(path, CorruptKind::byte_flip, seed);
+}
+
+DiskFaultStats disk_fault_stats() {
+  DiskFaultStats s;
+  s.commits = g_commits.load();
+  s.write_retries = g_write_retries.load();
+  s.eio_injected = g_eio.load();
+  s.torn_injected = g_torn.load();
+  s.trunc_injected = g_trunc.load();
+  s.verify_failures = g_verify_failures.load();
+  return s;
+}
+
+void reset_disk_fault_stats() {
+  g_commits = 0;
+  g_write_retries = 0;
+  g_eio = 0;
+  g_torn = 0;
+  g_trunc = 0;
+  g_verify_failures = 0;
 }
 
 template std::uint64_t connectivity_id<2>(const forest::Connectivity<2>&);

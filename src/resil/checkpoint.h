@@ -18,6 +18,14 @@
 // validates the header CRC and every section CRC before trusting a byte, and
 // a mismatch throws CheckpointCorrupt naming the section and file offset.
 //
+// The commit path is write-then-reread-verify: rank 0 rereads the temp file
+// through the same CRC validation restore uses before renaming it into
+// place, retrying a bounded number of times. Injected disk faults
+// (InjectConfig::disk_fault_stride: torn tail, truncation, transient EIO)
+// are keyed on (seed, step, attempt), so a retry draws a fresh hash and the
+// loop converges; persistent failure throws CheckpointCorrupt. DiskFaultStats
+// counts what the loop saw.
+//
 // Restore is *elastic*: the reader rank count is independent of the writer's.
 // The global octant sequence is rebuilt on rank 0, wrapped into a Forest via
 // Forest::from_local_leaves, and redistributed by the existing
@@ -131,10 +139,37 @@ Restored<Dim> restore_latest(par::Comm& comm, const forest::Connectivity<Dim>& c
                              std::uint64_t conn_id, CheckpointRing& ring,
                              int* fallbacks = nullptr);
 
-/// Fault-injection helper for tests: flip one seeded bit inside the section
-/// data region of a snapshot (past header and descriptors), guaranteeing
-/// some section CRC check must fail on the next restore.
+/// How corrupt_checkpoint damages a snapshot file.
+enum class CorruptKind {
+  byte_flip,      ///< flip one seeded bit inside the section data region
+  truncate_tail,  ///< cut a seeded number of bytes off the end of the file
+  torn_write,     ///< garble a seeded-length run of tail bytes in place
+};
+
+const char* corrupt_kind_name(CorruptKind k);
+
+/// Fault-injection helper for tests: damage the snapshot at `path` so the
+/// next restore must fail validation (section CRC mismatch for byte_flip and
+/// torn_write, out-of-range section or short read for truncate_tail). The
+/// damage site/extent is a pure function of `seed`.
+void corrupt_checkpoint(const std::string& path, CorruptKind kind, std::uint64_t seed);
+
+/// Back-compat wrapper: corrupt_checkpoint(path, CorruptKind::byte_flip, seed).
 void corrupt_checkpoint_byte(const std::string& path, std::uint64_t seed);
+
+/// Process-wide counters for the checkpoint commit path (rank 0 writes, but
+/// the counters are process globals so tests can read them after par::run).
+struct DiskFaultStats {
+  std::int64_t commits = 0;          ///< checkpoints successfully published
+  std::int64_t write_retries = 0;    ///< attempts discarded and retried
+  std::int64_t eio_injected = 0;     ///< transient EIO faults drawn
+  std::int64_t torn_injected = 0;    ///< torn-tail faults drawn
+  std::int64_t trunc_injected = 0;   ///< truncation faults drawn
+  std::int64_t verify_failures = 0;  ///< reread validations that failed
+};
+
+DiskFaultStats disk_fault_stats();
+void reset_disk_fault_stats();
 
 extern template std::uint64_t connectivity_id<2>(const forest::Connectivity<2>&);
 extern template std::uint64_t connectivity_id<3>(const forest::Connectivity<3>&);

@@ -5,16 +5,19 @@
 #include <cstdio>
 #include <thread>
 
+#include "par/inject.h"
 #include "resil/checkpoint.h"
 
 namespace esamr::resil {
 
 std::string RecoveryStats::summary() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "attempts=%d failures=%d bytes_reread=%lld steps_replayed=%llu backoff_s=%.3f",
-                attempts, failures, static_cast<long long>(bytes_reread),
-                static_cast<unsigned long long>(steps_replayed), backoff_s);
+                "attempts=%d failures=%d corrupt_msgs=%d bytes_reread=%lld steps_replayed=%llu "
+                "backoff_s=%.3f jitter=[%.4f, %.4f]",
+                attempts, failures, corrupt_msgs, static_cast<long long>(bytes_reread),
+                static_cast<unsigned long long>(steps_replayed), backoff_s, backoff_min_s,
+                backoff_max_s);
   std::string out = buf;
   for (const std::string& f : failure_log) out += "\n  fault: " + f;
   return out;
@@ -22,7 +25,7 @@ std::string RecoveryStats::summary() const {
 
 namespace {
 
-enum class Fault { rank_failure, timeout, corrupt };
+enum class Fault { rank_failure, timeout, corrupt_msg, corrupt_ckpt };
 
 }  // namespace
 
@@ -37,6 +40,7 @@ RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOption
     // caller then rethrows the original exception via bare `throw`).
     const auto on_fault = [&](Fault fault, const char* what) {
       ++stats.failures;
+      if (fault == Fault::corrupt_msg) ++stats.corrupt_msgs;
       stats.bytes_reread += ctx.bytes_reread();
       stats.steps_replayed += ctx.steps_done();  // this attempt's work is discarded
       stats.failure_log.emplace_back(what);
@@ -44,10 +48,25 @@ RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOption
       if (fault == Fault::rank_failure && sopts.clear_kill_on_retry) {
         opts.inject.kill_after_ops = 0;  // one-shot node failure model
       }
-      if (fault == Fault::corrupt && ring != nullptr) ring->quarantine_newest();
+      if (fault == Fault::corrupt_msg && sopts.clear_corrupt_on_retry) {
+        opts.inject.corrupt_msg_stride = 0;  // transient link fault model
+      }
+      if (fault == Fault::corrupt_ckpt && ring != nullptr) ring->quarantine_newest();
       if (backoff > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-        stats.backoff_s += backoff;
+        // Seeded jitter: u in [-1, 1) from (inject seed, attempt), so the
+        // sleep sequence is reproducible per seed yet decorrelated across
+        // seeds. unit_hash is the same primitive the injectors use.
+        const double u =
+            2.0 * par::detail::unit_hash(opts.inject.seed ^ 0xbac0ffULL,
+                                         static_cast<std::uint64_t>(attempt), 0) -
+            1.0;
+        const double sleep_s = backoff * (1.0 + sopts.backoff_jitter * u);
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+        stats.backoff_s += sleep_s;
+        if (stats.backoff_min_s == 0.0 || sleep_s < stats.backoff_min_s) {
+          stats.backoff_min_s = sleep_s;
+        }
+        if (sleep_s > stats.backoff_max_s) stats.backoff_max_s = sleep_s;
         backoff = std::min(backoff * sopts.backoff_factor, sopts.backoff_max_s);
       }
       return true;
@@ -62,6 +81,8 @@ RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOption
       if (!on_fault(Fault::rank_failure, e.what())) throw;
     } catch (const par::TimeoutError& e) {
       if (!on_fault(Fault::timeout, e.what())) throw;
+    } catch (const par::CorruptMessage& e) {
+      if (!on_fault(Fault::corrupt_msg, e.what())) throw;
     } catch (const par::check::CheckError& e) {
       // The dynamic checker diagnoses a stuck world long before the timeout
       // fires; treat its deadlock verdict as the same fault class. Races and
@@ -69,7 +90,7 @@ RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOption
       if (e.kind() != par::check::Violation::deadlock) throw;
       if (!on_fault(Fault::timeout, e.what())) throw;
     } catch (const CheckpointCorrupt& e) {
-      if (!on_fault(Fault::corrupt, e.what())) throw;
+      if (!on_fault(Fault::corrupt_ckpt, e.what())) throw;
     }
     // Anything else propagates out of the try untouched: a bug, not a fault.
   }

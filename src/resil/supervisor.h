@@ -1,10 +1,11 @@
 // Supervised execution with checkpoint-based recovery (ISSUE 2 tentpole).
 //
-// resil::supervise wraps par::run in a retry loop that treats three fault
+// resil::supervise wraps par::run in a retry loop that treats four fault
 // classes as recoverable:
 //
 //   par::RankFailure       injected one-shot node failure (par/inject.h)
 //   par::TimeoutError      a configured recv/barrier timeout expired
+//   par::CorruptMessage    a message envelope failed CRC32C verification
 //   resil::CheckpointCorrupt  a snapshot failed CRC validation on restore
 //
 // State machine per attempt:
@@ -16,10 +17,12 @@
 //                                   v
 //              (RankFailure: clear the one-shot kill so the retry
 //               does not deterministically die at the same op;
+//               CorruptMessage: clear the payload-fault stride — a
+//               detected corruption models a transient link fault;
 //               CheckpointCorrupt: quarantine the ring's newest entry)
 //                                   |
 //                                   v
-//                      exponential backoff, run again
+//               exponential backoff with seeded jitter, run again
 //
 // Any other exception is a bug, not a fault, and is rethrown immediately.
 //
@@ -47,9 +50,12 @@ class CheckpointRing;
 struct RecoveryStats {
   int attempts = 0;            ///< par::run launches (>= 1)
   int failures = 0;            ///< recoverable faults caught
+  int corrupt_msgs = 0;        ///< failures that were CorruptMessage
   std::int64_t bytes_reread = 0;     ///< snapshot bytes read across restores
   std::uint64_t steps_replayed = 0;  ///< steps completed by failed attempts
   double backoff_s = 0.0;            ///< total time slept between attempts
+  double backoff_min_s = 0.0;        ///< shortest jittered sleep taken (0 = none)
+  double backoff_max_s = 0.0;        ///< longest jittered sleep taken (0 = none)
   std::vector<std::string> failure_log;  ///< one message per caught fault
 
   std::string summary() const;
@@ -61,9 +67,19 @@ struct SupervisorOptions {
   double backoff_initial_s = 0.01;
   double backoff_factor = 2.0;
   double backoff_max_s = 1.0;
+  /// Fractional jitter applied to each backoff sleep: the actual sleep is
+  /// backoff * (1 + jitter * u) with u drawn deterministically from
+  /// (inject seed, attempt) in [-1, 1). 0 disables jitter. Jitter decorrelates
+  /// retry storms across concurrent supervisors while staying reproducible;
+  /// the realised bounds are recorded in RecoveryStats::backoff_{min,max}_s.
+  double backoff_jitter = 0.5;
   /// Treat injected rank-kill as a one-shot node failure: the retry runs with
   /// kill_after_ops = 0 so the same deterministic kill cannot fire again.
   bool clear_kill_on_retry = true;
+  /// Treat a detected message corruption as a transient link fault: the retry
+  /// runs with corrupt_msg_stride = 0 so the same deterministic payload fault
+  /// cannot fire again (mirrors clear_kill_on_retry).
+  bool clear_corrupt_on_retry = true;
 };
 
 /// Per-attempt reporting channel between the SPMD body and the supervisor.

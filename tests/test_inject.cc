@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <set>
 #include <vector>
 
@@ -151,4 +152,143 @@ TEST(DelayUs, PerPairFifoPreservedUnderDelays) {
       EXPECT_EQ(m.value<int>(), i);  // in-order despite random delays
     }
   });
+}
+
+TEST(PayloadFault, DeterministicSelectionAndKinds) {
+  InjectConfig cfg;
+  cfg.seed = 4242;
+  cfg.corrupt_msg_stride = 5;
+  int hit = 0;
+  bool kinds_vary = false;
+  detail::PayloadFault first_kind = detail::PayloadFault::none;
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    const auto f = detail::payload_fault(cfg, 1, 2, seq);
+    EXPECT_EQ(f, detail::payload_fault(cfg, 1, 2, seq));  // pure function
+    if (f == detail::PayloadFault::none) continue;
+    ++hit;
+    if (first_kind == detail::PayloadFault::none) first_kind = f;
+    if (f != first_kind) kinds_vary = true;
+  }
+  // Roughly one in `stride` messages is a victim, and the kind is drawn from
+  // independent bits, so 200 draws see several victims of differing kinds.
+  EXPECT_GT(hit, 0);
+  EXPECT_LT(hit, 200);
+  EXPECT_TRUE(kinds_vary);
+}
+
+TEST(PayloadFault, StreamsAreIndependentPerPairAndSeed) {
+  InjectConfig cfg;
+  cfg.seed = 4242;
+  cfg.corrupt_msg_stride = 4;
+  const auto victims = [&](int src, int dst) {
+    std::vector<std::uint64_t> v;
+    for (std::uint64_t seq = 0; seq < 400; ++seq) {
+      if (detail::payload_fault(cfg, src, dst, seq) != detail::PayloadFault::none) v.push_back(seq);
+    }
+    return v;
+  };
+  const auto a = victims(1, 2);
+  EXPECT_NE(a, victims(2, 1));  // direction matters
+  InjectConfig other = cfg;
+  other.seed = 4243;
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t seq = 0; seq < 400; ++seq) {
+    if (detail::payload_fault(other, 1, 2, seq) != detail::PayloadFault::none) b.push_back(seq);
+  }
+  EXPECT_NE(a, b);  // seed matters
+}
+
+TEST(PayloadFault, DisabledConfigsSelectNobody) {
+  InjectConfig cfg;  // seed = 0
+  cfg.corrupt_msg_stride = 2;
+  EXPECT_FALSE(cfg.corrupt_enabled());
+  EXPECT_EQ(detail::payload_fault(cfg, 0, 1, 0), detail::PayloadFault::none);
+  cfg.seed = 9;
+  cfg.corrupt_msg_stride = 0;
+  EXPECT_FALSE(cfg.corrupt_enabled());
+  EXPECT_EQ(detail::payload_fault(cfg, 0, 1, 0), detail::PayloadFault::none);
+}
+
+TEST(CorruptPayload, AppliesExactlyTheSelectedFault) {
+  InjectConfig cfg;
+  cfg.seed = 31337;
+  cfg.corrupt_msg_stride = 3;
+  int bitflips = 0, truncates = 0, duplicates = 0, untouched = 0;
+  for (std::uint64_t seq = 0; seq < 300; ++seq) {
+    std::vector<std::byte> data(64);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i);
+    const std::vector<std::byte> orig = data;
+    const auto f = detail::corrupt_payload(cfg, 2, 3, seq, data);
+    // Re-running on a fresh copy applies the identical mutation.
+    std::vector<std::byte> again = orig;
+    EXPECT_EQ(detail::corrupt_payload(cfg, 2, 3, seq, again), f);
+    EXPECT_EQ(data, again);
+    switch (f) {
+      case detail::PayloadFault::none:
+        EXPECT_EQ(data, orig);
+        ++untouched;
+        break;
+      case detail::PayloadFault::bitflip: {
+        ASSERT_EQ(data.size(), orig.size());
+        int diff_bits = 0;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          diff_bits += std::popcount(static_cast<unsigned>(data[i] ^ orig[i]));
+        }
+        EXPECT_EQ(diff_bits, 1);
+        ++bitflips;
+        break;
+      }
+      case detail::PayloadFault::truncate:
+        EXPECT_LT(data.size(), orig.size());
+        ++truncates;
+        break;
+      case detail::PayloadFault::duplicate:
+        EXPECT_GT(data.size(), orig.size());
+        ++duplicates;
+        break;
+    }
+  }
+  EXPECT_GT(untouched, 0);
+  EXPECT_GT(bitflips + truncates + duplicates, 0);
+}
+
+TEST(CorruptPayload, EmptyPayloadGrowsWhenSelected) {
+  InjectConfig cfg;
+  cfg.seed = 7;
+  cfg.corrupt_msg_stride = 1;  // every message is a victim
+  std::vector<std::byte> data;
+  const auto f = detail::corrupt_payload(cfg, 0, 1, 0, data);
+  EXPECT_EQ(f, detail::PayloadFault::duplicate);
+  EXPECT_EQ(data.size(), 1u);
+}
+
+TEST(DiskFault, DeterministicTransientPerAttempt) {
+  InjectConfig cfg;
+  cfg.seed = 555;
+  cfg.disk_fault_stride = 2;
+  int hits = 0;
+  for (std::uint64_t step = 0; step < 50; ++step) {
+    std::uint64_t attempt = 0;
+    for (; attempt < 64; ++attempt) {
+      const auto f = detail::disk_fault(cfg, step, attempt);
+      EXPECT_EQ(f, detail::disk_fault(cfg, step, attempt));  // pure function
+      if (f == detail::DiskFault::none) break;
+      ++hits;
+    }
+    // Faults are transient: the attempt coordinate re-rolls the hash, so a
+    // retry loop always finds a clean attempt (geometric tail, stride 2).
+    EXPECT_LT(attempt, 64u) << "step " << step << " faulted on every attempt";
+  }
+  EXPECT_GT(hits, 0);  // the stride actually selects commits
+}
+
+TEST(DiskFault, DisabledConfigsSelectNothing) {
+  InjectConfig cfg;  // seed = 0
+  cfg.disk_fault_stride = 1;
+  EXPECT_FALSE(cfg.disk_enabled());
+  EXPECT_EQ(detail::disk_fault(cfg, 0, 0), detail::DiskFault::none);
+  cfg.seed = 5;
+  cfg.disk_fault_stride = 0;
+  EXPECT_FALSE(cfg.disk_enabled());
+  EXPECT_EQ(detail::disk_fault(cfg, 0, 0), detail::DiskFault::none);
 }

@@ -6,6 +6,8 @@
 // per-rank fields.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -31,7 +33,10 @@ namespace {
 
 /// Fresh per-test scratch directory under the gtest temp dir.
 std::string test_dir(const std::string& name) {
-  const std::string d = ::testing::TempDir() + "esamr_resil_" + name;
+  // Suffix the pid: the plain per-case binary and the ESAMR_CHECK=1 whole-
+  // binary rerun may execute the same test concurrently under ctest -j.
+  const std::string d =
+      ::testing::TempDir() + "esamr_resil_" + name + "_" + std::to_string(::getpid());
   fs::remove_all(d);
   fs::create_directories(d);
   return d;
@@ -443,4 +448,199 @@ TEST(MantleRecovery, KilledRunRecoversToBitIdenticalFields) {
     EXPECT_TRUE(bits_equal(got_vel[r], base_vel[r])) << "corner_vel differs on rank " << r;
     EXPECT_TRUE(bits_equal(got_eps[r], base_eps[r])) << "strain_rate differs on rank " << r;
   }
+}
+
+namespace {
+
+/// First seed for which, over `steps` checkpoint commits at the given stride,
+/// at least one first-attempt disk fault fires and every commit heals within
+/// the writer's 5-attempt budget.
+std::uint64_t pick_disk_seed(int stride, int steps) {
+  for (std::uint64_t seed = 1; seed < 10000; ++seed) {
+    par::InjectConfig cfg;
+    cfg.seed = seed;
+    cfg.disk_fault_stride = stride;
+    bool any_first = false, all_heal = true;
+    for (int s = 0; s < steps; ++s) {
+      int a = 0;
+      while (a < 5 && par::detail::disk_fault(cfg, static_cast<std::uint64_t>(s),
+                                              static_cast<std::uint64_t>(a)) !=
+                          par::detail::DiskFault::none) {
+        ++a;
+      }
+      if (a == 5) {
+        all_heal = false;
+        break;
+      }
+      if (a > 0) any_first = true;
+    }
+    if (all_heal && any_first) return seed;
+  }
+  ADD_FAILURE() << "no healing disk-fault seed found";
+  return 0;
+}
+
+}  // namespace
+
+// Generalized corruption kinds: truncate-tail and torn-write damage must be
+// detected on restore and fall back through the ring exactly like byte_flip.
+TEST(Checkpoint, TruncateTailAndTornWriteFallBackThroughRing) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  for (const auto kind : {resil::CorruptKind::truncate_tail, resil::CorruptKind::torn_write}) {
+    const std::string dir = test_dir(std::string("corrupt_") + resil::corrupt_kind_name(kind));
+    par::run(2, [&](par::Comm& c) {
+      resil::CheckpointRing ring(dir, 3);
+      auto f = make_forest(c, conn);
+      const auto eps = make_field(f, "eps", 1);
+      resil::write_checkpoint_ring(f, cid, 1, {eps}, ring);
+      resil::write_checkpoint_ring(f, cid, 2, {eps}, ring);
+    });
+    resil::CheckpointRing ring(dir, 3);
+    ASSERT_EQ(ring.entries().size(), 2u);
+    resil::corrupt_checkpoint(ring.newest(), kind, 909);
+
+    // The damaged newest entry must fail CRC/bounds validation...
+    try {
+      par::run(1, [&](par::Comm& c) { resil::restore_checkpoint<2>(c, conn, cid, ring.newest()); });
+      FAIL() << "expected CheckpointCorrupt for " << resil::corrupt_kind_name(kind);
+    } catch (const resil::CheckpointCorrupt& e) {
+      const std::string msg = e.what();
+      const bool diagnosed = msg.find("CRC mismatch") != std::string::npos ||
+                             msg.find("past end of file") != std::string::npos ||
+                             msg.find("shorter than header") != std::string::npos ||
+                             msg.find("section size") != std::string::npos ||
+                             msg.find("missing") != std::string::npos;
+      EXPECT_TRUE(diagnosed) << msg;
+    }
+
+    // ...and restore_latest quarantines it and falls back to step 1.
+    par::run(2, [&](par::Comm& c) {
+      resil::CheckpointRing r2(dir, 3);
+      int fallbacks = -1;
+      auto r = resil::restore_latest<2>(c, conn, cid, r2, &fallbacks);
+      EXPECT_EQ(r.step, 1u) << resil::corrupt_kind_name(kind);
+      EXPECT_EQ(fallbacks, 1);
+    });
+    EXPECT_EQ(ring.entries().size(), 1u);
+  }
+}
+
+// The write-then-reread-verify commit path heals injected disk faults (torn
+// tail, truncation, transient EIO) by retrying, and the published snapshots
+// restore with the correct contents.
+TEST(Checkpoint, WriteVerifyHealsInjectedDiskFaults) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::string dir = test_dir("writeverify");
+  constexpr int steps = 8;
+  par::RunOptions opts;
+  opts.inject.seed = pick_disk_seed(/*stride=*/2, steps);
+  opts.inject.disk_fault_stride = 2;
+  resil::reset_disk_fault_stats();
+  par::run(2, opts, [&](par::Comm& c) {
+    resil::CheckpointRing ring(dir, 2);
+    auto f = make_forest(c, conn);
+    const auto eps = make_field(f, "eps", 1);
+    for (int s = 0; s < steps; ++s) {
+      resil::write_checkpoint_ring(f, cid, static_cast<std::uint64_t>(s), {eps}, ring);
+    }
+    // Every commit was eventually published despite the injected faults...
+    auto r = resil::restore_latest<2>(c, conn, cid, ring);
+    EXPECT_EQ(r.step, static_cast<std::uint64_t>(steps - 1));
+    EXPECT_EQ(r.forest.checksum(), f.checksum());
+    ASSERT_EQ(r.fields.size(), 1u);
+    EXPECT_TRUE(bits_equal(r.fields[0].data, eps.data));
+  });
+  const auto d = resil::disk_fault_stats();
+  EXPECT_EQ(d.commits, steps);
+  // ...and the retry loop actually saw faults (the seed guarantees >= 1).
+  EXPECT_GT(d.write_retries, 0);
+  EXPECT_GT(d.eio_injected + d.torn_injected + d.trunc_injected, 0);
+  EXPECT_EQ(d.verify_failures, d.torn_injected + d.trunc_injected);
+}
+
+// A CRC-detected payload corruption is a recoverable fault: the supervisor
+// clears the one-shot corruption stream and the retry completes correctly.
+TEST(Supervisor, RecoversFromDetectedMessageCorruption) {
+  par::RunOptions opts;
+  opts.inject.seed = 99;
+  opts.inject.corrupt_msg_stride = 1;  // every message is a victim
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 2;
+  sopt.backoff_initial_s = 0.0;
+  std::atomic<int> clean_sum{-1};
+  const auto stats = resil::supervise(
+      4, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext&) {
+        const int next = (c.rank() + 1) % c.size();
+        c.send_value(next, 3, c.rank());
+        const auto m = c.recv((c.rank() + 3) % 4, 3);
+        const int sum = c.allreduce(m.value<int>(), par::ReduceOp::sum);
+        if (c.rank() == 0) clean_sum = sum;
+      });
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_EQ(stats.corrupt_msgs, 1);
+  ASSERT_EQ(stats.failure_log.size(), 1u);
+  EXPECT_NE(stats.failure_log[0].find("corrupt"), std::string::npos);
+  EXPECT_NE(stats.summary().find("corrupt_msgs=1"), std::string::npos);
+  EXPECT_EQ(clean_sum.load(), 0 + 1 + 2 + 3);
+}
+
+// With clearing disabled the corruption stream persists, retries exhaust,
+// and the original CorruptMessage propagates (a diagnosed abort, not a hang).
+TEST(Supervisor, GivesUpWhenCorruptionPersists) {
+  par::RunOptions opts;
+  opts.inject.seed = 99;
+  opts.inject.corrupt_msg_stride = 1;
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 1;
+  sopt.backoff_initial_s = 0.0;
+  sopt.clear_corrupt_on_retry = false;
+  EXPECT_THROW(resil::supervise(2, opts, sopt, nullptr,
+                                [](par::Comm& c, resil::RecoveryContext&) {
+                                  c.send_value(1 - c.rank(), 1, c.rank());
+                                  (void)c.recv(1 - c.rank(), 1);
+                                }),
+               par::CorruptMessage);
+}
+
+// Backoff jitter is a pure function of (inject seed, attempt): two identical
+// supervised runs sleep bit-identically, the realised sleeps stay inside the
+// configured jitter band, and the band is recorded in RecoveryStats.
+TEST(Supervisor, BackoffJitterIsSeededDeterministicAndBounded) {
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 3;
+  sopt.backoff_initial_s = 0.001;
+  sopt.backoff_factor = 2.0;
+  sopt.backoff_max_s = 0.01;
+  sopt.backoff_jitter = 0.5;
+  par::RunOptions opts;
+  opts.inject.seed = 77;  // the jitter stream seed
+  const auto run_once = [&](const par::RunOptions& o) {
+    return resil::supervise(1, o, sopt, nullptr, [](par::Comm&, resil::RecoveryContext& ctx) {
+      if (ctx.attempt() < 2) throw par::TimeoutError("synthetic timeout");
+    });
+  };
+  const auto s1 = run_once(opts);
+  const auto s2 = run_once(opts);
+  EXPECT_EQ(s1.attempts, 3);
+  EXPECT_EQ(s1.failures, 2);
+  // Two sleeps at nominal 0.001 and 0.002 s, each jittered within +/- 50%.
+  EXPECT_GE(s1.backoff_min_s, 0.0005);
+  EXPECT_LT(s1.backoff_max_s, 0.003);
+  EXPECT_LE(s1.backoff_min_s, s1.backoff_max_s);
+  EXPECT_EQ(s1.backoff_s, s2.backoff_s);  // bit-identical replay
+  EXPECT_EQ(s1.backoff_min_s, s2.backoff_min_s);
+  EXPECT_EQ(s1.backoff_max_s, s2.backoff_max_s);
+  EXPECT_NE(s1.summary().find("jitter=["), std::string::npos);
+  // A different seed draws a different jitter sequence.
+  auto opts2 = opts;
+  opts2.inject.seed = 78;
+  EXPECT_NE(run_once(opts2).backoff_s, s1.backoff_s);
+  // Zero jitter reproduces the exact exponential schedule.
+  sopt.backoff_jitter = 0.0;
+  const auto s3 = run_once(opts);
+  EXPECT_DOUBLE_EQ(s3.backoff_min_s, 0.001);
+  EXPECT_DOUBLE_EQ(s3.backoff_max_s, 0.002);
 }
