@@ -230,9 +230,84 @@ std::vector<CheckRow> checker_table(int p, int iters) {
   return rows;
 }
 
+struct OverlapRow {
+  const char* mode;
+  bench::PhaseCost cost;
+  std::int64_t copies = 0;
+  std::int64_t bytes_copied = 0;
+  std::int64_t adoptions = 0;
+};
+
+/// Blocking vs async ghost-value exchange on the same forest: busy time,
+/// blocked time, and — the zero-copy story — the payload copies the Buffer
+/// layer performed (the blocking alltoallv copies every packed buffer into
+/// the collective; the async path adopts the same buffers and the receivers
+/// read them in place).
+std::vector<OverlapRow> overlap_table(int p, int iters) {
+  std::printf("\n=== async overlap: ghost exchange, blocking vs async (P=%d, %d iters) ===\n", p,
+              iters);
+  std::printf("%-16s %10s %10s %12s %10s %10s %12s\n", "mode", "busy ms", "msgs", "bytes",
+              "blocked ms", "copies", "copied B");
+  std::vector<OverlapRow> rows;
+  par::run(p, [&](par::Comm& comm) {
+    const auto conn = forest::Connectivity<3>::rotcubes();
+    auto f = forest::Forest<3>::new_uniform(comm, &conn, 1);
+    f.refine(4, true, [](int, const forest::Octant<3>& o) {
+      const int id = o.child_id();
+      return id == 0 || id == 3 || id == 5;
+    });
+    f.balance();
+    f.partition();
+    const auto g = forest::GhostLayer<3>::build(f);
+    constexpr int per_elem = 8;
+    std::vector<double> mirror_data(g.mirrors.size() * per_elem);
+    for (std::size_t i = 0; i < mirror_data.size(); ++i) {
+      mirror_data[i] = comm.rank() + 1e-3 * static_cast<double>(i);
+    }
+    volatile double keep = 0.0;
+    const auto measure = [&](const char* mode, const std::function<void()>& body) {
+      const auto run_iters = [&] {
+        for (int i = 0; i < iters; ++i) body();
+      };
+      const auto cost = bench::timed_phase(comm, run_iters);
+      // Separate untimed pass for the BufferStats delta: timed_phase's own
+      // reductions copy small payloads, which would pollute the count.
+      comm.barrier();
+      if (comm.rank() == 0) par::buffer_stats_reset();
+      comm.barrier();
+      run_iters();
+      comm.barrier();
+      if (comm.rank() == 0) {
+        const auto bs = par::buffer_stats();
+        rows.push_back(OverlapRow{mode, cost, bs.copies, bs.bytes_copied, bs.adoptions});
+        std::printf("%-16s %10.2f %10" PRId64 " %12" PRId64 " %10.2f %10" PRId64 " %12" PRId64
+                    "\n",
+                    mode, 1e3 * cost.busy_max_s, cost.msgs, cost.bytes, 1e3 * cost.blocked_s,
+                    bs.copies, bs.bytes_copied);
+      }
+    };
+    measure("ghost blocking", [&] {
+      const auto out =
+          g.exchange_blocking(comm, std::span<const double>(mirror_data), per_elem);
+      double acc = 0.0;
+      for (const double v : out) acc += v;
+      keep = keep + acc;
+    });
+    measure("ghost async", [&] {
+      const auto out = g.exchange(comm, std::span<const double>(mirror_data), per_elem);
+      double acc = 0.0;
+      for (const double v : out) acc += v;
+      keep = keep + acc;
+    });
+  });
+  std::printf("(async = post-all-then-overlap isend/irecv with adopted buffers, read in\n");
+  std::printf(" place at the receiver; copies counts Buffer-layer payload copies)\n");
+  return rows;
+}
+
 void write_json(const char* path, int p, std::size_t payload, const std::vector<VolumeRow>& vols,
                 const std::vector<PhaseRow>& phases, const std::vector<CheckRow>& checks,
-                const std::vector<IntegrityRow>& integ) {
+                const std::vector<IntegrityRow>& integ, const std::vector<OverlapRow>& overlap) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_comm: cannot open %s for writing\n", path);
@@ -274,6 +349,16 @@ void write_json(const char* path, int p, std::size_t payload, const std::vector<
                  integ[i].on ? "true" : "false", integ[i].busy_s, integ[i].bytes_verified,
                  (integ[i].busy_s - ibase) / ibase, i + 1 < integ.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"overlap\": [\n");
+  for (std::size_t i = 0; i < overlap.size(); ++i) {
+    const auto& r = overlap[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"busy_s\": %.6f, \"msgs\": %" PRId64
+                 ", \"bytes\": %" PRId64 ", \"blocked_s\": %.6f, \"copies\": %" PRId64
+                 ", \"bytes_copied\": %" PRId64 ", \"adoptions\": %" PRId64 "}%s\n",
+                 r.mode, r.cost.busy_max_s, r.cost.msgs, r.cost.bytes, r.cost.blocked_s, r.copies,
+                 r.bytes_copied, r.adoptions, i + 1 < overlap.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path);
@@ -302,6 +387,9 @@ int main(int argc, char** argv) {
   const auto phases = phase_table(std::min(p, 8));
   const auto checks = checker_table(std::min(p, 8), 200);
   const auto integ = integrity_table(std::min(p, 8), 200);
-  if (json_path != nullptr) write_json(json_path, p, payload, vols, phases, checks, integ);
+  const auto overlap = overlap_table(std::min(p, 8), 20);
+  if (json_path != nullptr) {
+    write_json(json_path, p, payload, vols, phases, checks, integ, overlap);
+  }
   return 0;
 }

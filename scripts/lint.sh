@@ -12,6 +12,19 @@ set -u
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
+# Grep gate (runs even where clang-tidy is absent): the comm runtime's payload
+# plane is Buffer/Message end to end — a raw std::vector<uint8_t> payload in a
+# src/par signature means a copying byte-blob API snuck back in. std::byte
+# vectors are the sanctioned backing type; uint8_t blobs are the legacy
+# signature the zero-copy refactor removed.
+if grep -rnE 'std::vector<\s*(std::)?uint8_t\s*>' "${repo_root}/src/par" \
+    --include='*.h' --include='*.cc'; then
+  echo "lint.sh: FAILED — raw std::vector<uint8_t> payload signature in src/par"
+  echo "         (use par::Buffer / std::vector<std::byte>; see src/par/buffer.h)"
+  exit 1
+fi
+echo "lint.sh: OK — no raw uint8_t payload signatures in src/par"
+
 tidy_bin="$(command -v clang-tidy || true)"
 if [[ -z "${tidy_bin}" ]]; then
   echo "lint.sh: clang-tidy not found on PATH; skipping (install clang-tidy to enable)"

@@ -40,21 +40,27 @@ void collect_owners(const Forest<Dim>& f, int tree, const Octant<Dim>& n,
 
 }  // namespace
 
+namespace {
+
+/// The local half of build: scan the leaves, fill mirrors/mirror_lists, and
+/// pack the per-destination octant buffers. Shared by the async build and
+/// its blocking twin so the two are identical by construction.
 template <int Dim>
-GhostLayer<Dim> GhostLayer<Dim>::build(const Forest<Dim>& forest, int layers) {
+GhostLayer<Dim> ghost_scan(const Forest<Dim>& forest, int layers,
+                           std::vector<std::vector<OctMsg>>& send) {
   if (layers < 1) throw std::runtime_error("ghost: layers must be >= 1");
   using Pins = typename Connectivity<Dim>::EntityPins;
   using T = Topo<Dim>;
+  using Oct = Octant<Dim>;
+  using Mirror = typename GhostLayer<Dim>::Mirror;
   par::Comm& comm = forest.comm();
   const Connectivity<Dim>& conn = forest.conn();
   const int p = comm.size();
   const int me = comm.rank();
 
-  GhostLayer layer;
+  GhostLayer<Dim> layer;
   layer.mirror_lists.resize(static_cast<std::size_t>(p));
-  std::vector<std::vector<OctMsg>> send(static_cast<std::size_t>(p));
-  // mirror index of each sent local leaf; -1 until first sent
-  std::vector<std::int32_t> mirror_of;
+  send.assign(static_cast<std::size_t>(p), {});
 
   std::int32_t li = 0;  // local element index in SFC enumeration
   std::vector<int> targets;
@@ -171,27 +177,80 @@ GhostLayer<Dim> GhostLayer<Dim>::build(const Forest<Dim>& forest, int layers) {
     }
     ++li;
   });
-  (void)mirror_of;
 
   for (const auto& buf : send) {
     op_stats().ghost_octants_sent += static_cast<std::int64_t>(buf.size());
   }
+  return layer;
+}
+
+/// Append rank r's octants to layer.ghosts and extend rank_offset.
+template <int Dim>
+void ghost_append(GhostLayer<Dim>& layer, int r, std::span<const OctMsg> from) {
+  layer.rank_offset[static_cast<std::size_t>(r) + 1] =
+      layer.rank_offset[static_cast<std::size_t>(r)] + from.size();
+  for (const OctMsg& m : from) {
+    Octant<Dim> o;
+    o.x = m.x;
+    o.y = m.y;
+    if constexpr (Dim == 3) o.z = m.z;
+    o.level = static_cast<std::int8_t>(m.level);
+    layer.ghosts.push_back(typename GhostLayer<Dim>::GhostOct{o, m.tree, r});
+  }
+}
+
+}  // namespace
+
+template <int Dim>
+GhostLayer<Dim> GhostLayer<Dim>::build(const Forest<Dim>& forest, int layers) {
+  par::Comm& comm = forest.comm();
+  const int p = comm.size();
+  const int me = comm.rank();
+  // Post every peer receive before the leaf scan: octants from peers that
+  // finish scanning early flow into this rank's mailbox while it is still
+  // working. Each pair exchanges exactly one (possibly empty) message on the
+  // reserved tag, so matching is deterministic.
+  std::vector<par::Request> recvs(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r != me) recvs[static_cast<std::size_t>(r)] = comm.irecv(r, tag_ghost_build);
+  }
+  std::vector<std::vector<OctMsg>> send;
+  GhostLayer layer = ghost_scan(forest, layers, send);
   // Local leaf arrays (including those skipped by the interior fast path)
   // are rank-owned during the exchange.
+  const auto leaf_guards = forest.check_guard_leaves("ghost leaves");
+  std::vector<par::Request> sends;
+  sends.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    // The packed buffer's storage is adopted by the runtime — zero-copy.
+    sends.push_back(comm.isend(r, tag_ghost_build, std::move(send[static_cast<std::size_t>(r)])));
+  }
+  layer.rank_offset.assign(static_cast<std::size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) {
+    auto& rq = recvs[static_cast<std::size_t>(r)];
+    std::span<const OctMsg> from{};
+    if (rq.valid()) {
+      rq.wait();
+      from = rq.message().template view<OctMsg>();
+    }
+    ghost_append(layer, r, from);
+  }
+  par::wait_all(sends);
+  return layer;
+}
+
+template <int Dim>
+GhostLayer<Dim> GhostLayer<Dim>::build_blocking(const Forest<Dim>& forest, int layers) {
+  par::Comm& comm = forest.comm();
+  const int p = comm.size();
+  std::vector<std::vector<OctMsg>> send;
+  GhostLayer layer = ghost_scan(forest, layers, send);
   const auto leaf_guards = forest.check_guard_leaves("ghost leaves");
   const auto recv = comm.alltoallv(send);
   layer.rank_offset.assign(static_cast<std::size_t>(p) + 1, 0);
   for (int r = 0; r < p; ++r) {
-    layer.rank_offset[static_cast<std::size_t>(r) + 1] =
-        layer.rank_offset[static_cast<std::size_t>(r)] + recv[static_cast<std::size_t>(r)].size();
-    for (const OctMsg& m : recv[static_cast<std::size_t>(r)]) {
-      Oct o;
-      o.x = m.x;
-      o.y = m.y;
-      if constexpr (Dim == 3) o.z = m.z;
-      o.level = static_cast<std::int8_t>(m.level);
-      layer.ghosts.push_back(GhostOct{o, m.tree, r});
-    }
+    ghost_append(layer, r, std::span<const OctMsg>(recv[static_cast<std::size_t>(r)]));
   }
   return layer;
 }

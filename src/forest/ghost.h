@@ -18,6 +18,13 @@
 
 namespace esamr::forest {
 
+/// Reserved user-plane tags for the ghost layer's async exchanges, chosen
+/// high so they stay clear of application and test tags. Each (sender,
+/// receiver) pair carries at most one message per phase, so per-pair FIFO
+/// delivery keeps repeated phases unambiguous.
+inline constexpr int tag_ghost_build = 0x5f9e70;
+inline constexpr int tag_ghost_exchange = 0x5f9e71;
+
 template <int Dim>
 struct GhostLayer {
   using Oct = Octant<Dim>;
@@ -44,7 +51,10 @@ struct GhostLayer {
   /// were sent (matching the receiver's ghost order for that rank).
   std::vector<std::vector<std::int32_t>> mirror_lists;
 
-  /// Build the ghost layer of a (typically 2:1 balanced) forest.
+  /// Build the ghost layer of a (typically 2:1 balanced) forest. The
+  /// exchange is asynchronous post-all-then-overlap: every peer receive is
+  /// posted before the leaf scan, sends adopt the packed octant buffers
+  /// (zero-copy), and receives drain in rank order afterwards.
   ///
   /// `layers` > 1 collects a wider halo (e.g. for semi-Lagrangian methods,
   /// the "minor extension of Ghost" of paper §II-E): every foreign leaf
@@ -53,11 +63,59 @@ struct GhostLayer {
   /// superset of the k-neighborhood on strongly graded meshes.
   static GhostLayer build(const Forest<Dim>& forest, int layers = 1);
 
+  /// Blocking twin of build (one alltoallv after the scan); identical
+  /// result, kept as the differential-testing oracle.
+  static GhostLayer build_blocking(const Forest<Dim>& forest, int layers = 1);
+
   /// Exchange per-element payloads: `mirror_data` holds `per_elem` values of
   /// T for each mirror (in `mirrors` order); the result holds `per_elem`
   /// values for each ghost (in `ghosts` order).
+  ///
+  /// Async post-all-then-overlap form: receives are posted first (one per
+  /// rank we hold ghosts from), sends adopt the packed value buffers, and
+  /// received payloads are read in place (Message::view) — no payload copy
+  /// inside the runtime on either side.
   template <typename T>
   std::vector<T> exchange(par::Comm& comm, std::span<const T> mirror_data, int per_elem) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = comm.size();
+    const int me = comm.rank();
+    std::vector<par::Request> recvs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      if (r != me && rank_offset[static_cast<std::size_t>(r) + 1] >
+                         rank_offset[static_cast<std::size_t>(r)]) {
+        recvs[static_cast<std::size_t>(r)] = comm.irecv(r, tag_ghost_exchange);
+      }
+    }
+    std::vector<par::Request> sends;
+    for (int r = 0; r < p; ++r) {
+      const auto& list = mirror_lists[static_cast<std::size_t>(r)];
+      if (r == me || list.empty()) continue;
+      std::vector<T> buf;
+      buf.reserve(list.size() * static_cast<std::size_t>(per_elem));
+      for (const std::int32_t mi : list) {
+        const T* block = mirror_data.data() + static_cast<std::size_t>(mi) * per_elem;
+        buf.insert(buf.end(), block, block + per_elem);
+      }
+      sends.push_back(comm.isend(r, tag_ghost_exchange, std::move(buf)));
+    }
+    std::vector<T> out(ghosts.size() * static_cast<std::size_t>(per_elem));
+    for (int r = 0; r < p; ++r) {
+      auto& rq = recvs[static_cast<std::size_t>(r)];
+      if (!rq.valid()) continue;
+      rq.wait();
+      const auto vals = rq.message().template view<T>();
+      std::memcpy(out.data() + rank_offset[static_cast<std::size_t>(r)] * per_elem, vals.data(),
+                  vals.size_bytes());
+    }
+    par::wait_all(sends);
+    return out;
+  }
+
+  /// Blocking twin of exchange (one alltoallv); identical result.
+  template <typename T>
+  std::vector<T> exchange_blocking(par::Comm& comm, std::span<const T> mirror_data,
+                                   int per_elem) const {
     static_assert(std::is_trivially_copyable_v<T>);
     const int p = comm.size();
     std::vector<std::vector<T>> send(static_cast<std::size_t>(p));

@@ -1,0 +1,100 @@
+#include "par/buffer.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace esamr::par {
+
+namespace {
+
+// Relaxed atomics: the counters are aggregates read at phase boundaries,
+// never used for synchronization.
+std::atomic<std::int64_t> g_payloads{0};
+std::atomic<std::int64_t> g_adoptions{0};
+std::atomic<std::int64_t> g_copies{0};
+std::atomic<std::int64_t> g_bytes_copied{0};
+std::atomic<std::int64_t> g_takes{0};
+
+}  // namespace
+
+namespace detail {
+
+void buffer_note_copy(std::size_t nbytes) {
+  g_copies.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_copied.fetch_add(static_cast<std::int64_t>(nbytes), std::memory_order_relaxed);
+}
+
+void buffer_note_adopt() {
+  g_payloads.fetch_add(1, std::memory_order_relaxed);
+  g_adoptions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void buffer_note_take() { g_takes.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace detail
+
+BufferStats buffer_stats() {
+  BufferStats s;
+  s.payloads = g_payloads.load(std::memory_order_relaxed);
+  s.adoptions = g_adoptions.load(std::memory_order_relaxed);
+  s.copies = g_copies.load(std::memory_order_relaxed);
+  s.bytes_copied = g_bytes_copied.load(std::memory_order_relaxed);
+  s.zero_copy_takes = g_takes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void buffer_stats_reset() {
+  g_payloads.store(0, std::memory_order_relaxed);
+  g_adoptions.store(0, std::memory_order_relaxed);
+  g_copies.store(0, std::memory_order_relaxed);
+  g_bytes_copied.store(0, std::memory_order_relaxed);
+  g_takes.store(0, std::memory_order_relaxed);
+}
+
+Buffer Buffer::copy_of(const void* data, std::size_t nbytes) {
+  Buffer b;
+  auto holder = std::make_shared<std::vector<std::byte>>(nbytes);
+  if (nbytes > 0) std::memcpy(holder->data(), data, nbytes);
+  b.vec_ = holder.get();
+  b.data_ = holder->data();
+  b.size_ = nbytes;
+  b.hold_ = std::move(holder);
+  g_payloads.fetch_add(1, std::memory_order_relaxed);
+  detail::buffer_note_copy(nbytes);
+  return b;
+}
+
+Buffer Buffer::adopt(std::vector<std::byte>&& v) {
+  Buffer b;
+  auto holder = std::make_shared<std::vector<std::byte>>(std::move(v));
+  b.vec_ = holder.get();
+  b.data_ = holder->data();
+  b.size_ = holder->size();
+  b.hold_ = std::move(holder);
+  detail::buffer_note_adopt();
+  return b;
+}
+
+std::vector<std::byte> Buffer::take_bytes() && {
+  if (!hold_) return {};
+  std::vector<std::byte> out;
+  // use_count() == 1 means this Buffer is the storage's sole owner: no other
+  // Buffer or queued Message can observe the move. A stale reference held
+  // elsewhere keeps the count above one and forces the copy branch instead,
+  // so the check can only be conservative, never unsound.
+  if (vec_ != nullptr && hold_.use_count() == 1) {
+    out = std::move(*vec_);
+    detail::buffer_note_take();
+  } else {
+    out.resize(size_);
+    if (size_ > 0) std::memcpy(out.data(), data_, size_);
+    detail::buffer_note_copy(size_);
+  }
+  hold_.reset();
+  vec_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  return out;
+}
+
+}  // namespace esamr::par

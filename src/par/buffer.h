@@ -1,0 +1,100 @@
+// Ref-counted immutable payload storage for the SPMD runtime ("Comm v2").
+//
+// A Buffer owns a block of bytes that is immutable for the Buffer's whole
+// lifetime: senders hand a payload to the runtime by *adopting* a vector
+// (zero-copy move into shared storage), the mailbox and any in-flight
+// Request share the same storage by reference count, and receivers either
+// read the bytes in place (Message::view / Message::data) or move the
+// storage out with take_bytes() once they hold the last reference. The
+// CRC32C integrity seal is computed once over the shared bytes at the
+// sender and verified at the receiver without any intermediate copy.
+//
+// Ownership states (see DESIGN.md "Async runtime"):
+//   user-owned   — the vector before adopt(); freely mutable.
+//   runtime-owned — from isend post to Request completion; immutable, the
+//                  checker flags any write into the range as a race.
+//   receiver-owned — after recv/wait; immutable while shared, movable out
+//                  via take_bytes() when the reference count is one.
+//
+// Process-wide BufferStats counts every payload copy the Buffer layer
+// performs (copy_of, a shared take_bytes, the injection fault clone), so
+// bench_comm and the test_perf_ops budget can assert the fast path does
+// zero payload copies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace esamr::par {
+
+/// Process-wide counters over all Buffer payload traffic (atomic snapshot).
+struct BufferStats {
+  std::int64_t payloads = 0;        ///< Buffers materialized with contents
+  std::int64_t adoptions = 0;       ///< zero-copy creations (adopt / adopt_vec)
+  std::int64_t copies = 0;          ///< payload copy events (copy_of, shared take)
+  std::int64_t bytes_copied = 0;    ///< bytes moved by those copies
+  std::int64_t zero_copy_takes = 0; ///< take_bytes that moved storage out intact
+};
+
+/// Snapshot of the process-wide counters.
+BufferStats buffer_stats();
+/// Reset the process-wide counters to zero (bench/test phase boundaries).
+void buffer_stats_reset();
+
+namespace detail {
+void buffer_note_copy(std::size_t nbytes);  ///< count an out-of-line payload copy
+void buffer_note_adopt();
+void buffer_note_take();
+}  // namespace detail
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// One copy of [data, data+nbytes) into fresh shared storage. This is the
+  /// compatibility path for send_bytes-style APIs; counted in BufferStats.
+  static Buffer copy_of(const void* data, std::size_t nbytes);
+
+  /// Zero-copy: move the vector's storage into the Buffer.
+  static Buffer adopt(std::vector<std::byte>&& v);
+
+  /// Zero-copy adoption of a typed vector (trivially copyable elements);
+  /// the bytes are reinterpreted, the storage is moved, nothing is copied.
+  template <typename T>
+  static Buffer adopt_vec(std::vector<T>&& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if constexpr (std::is_same_v<T, std::byte>) {
+      return adopt(std::move(v));
+    } else {
+      Buffer b;
+      auto holder = std::make_shared<std::vector<T>>(std::move(v));
+      b.data_ = reinterpret_cast<const std::byte*>(holder->data());
+      b.size_ = holder->size() * sizeof(T);
+      b.hold_ = std::move(holder);
+      detail::buffer_note_adopt();
+      return b;
+    }
+  }
+
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// Number of Buffers (and the mailbox message) sharing this storage.
+  long use_count() const noexcept { return hold_.use_count(); }
+
+  /// Move the bytes out. Zero-copy when this Buffer is byte-vector-backed
+  /// and holds the last reference; otherwise one counted copy. Consumes the
+  /// Buffer either way (rvalue-qualified: call as std::move(b).take_bytes()).
+  std::vector<std::byte> take_bytes() &&;
+
+ private:
+  std::shared_ptr<void> hold_;
+  std::vector<std::byte>* vec_ = nullptr;  ///< set when backed by vector<byte>
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace esamr::par

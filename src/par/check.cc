@@ -184,6 +184,23 @@ void Checker::unregister_region(std::uint64_t id) {
   }
 }
 
+std::uint64_t Checker::begin_inflight(int rank, const void* ptr, std::size_t nbytes, Site site) {
+  if (nbytes == 0) return 0;
+  Region r;
+  r.owner = rank;
+  r.name = "in-flight send buffer";
+  r.lo = reinterpret_cast<std::uintptr_t>(ptr);
+  r.hi = r.lo + nbytes;
+  r.site = site;
+  r.inflight = true;
+  std::lock_guard<std::mutex> lock(regions_m_);
+  r.id = next_region_id_++;
+  regions_.push_back(std::move(r));
+  return regions_.back().id;
+}
+
+void Checker::end_inflight(std::uint64_t id) { unregister_region(id); }
+
 void Checker::access(int rank, const void* ptr, std::size_t nbytes, bool write, Site site) {
   if (nbytes == 0) return;
   const auto lo = reinterpret_cast<std::uintptr_t>(ptr);
@@ -193,6 +210,23 @@ void Checker::access(int rank, const void* ptr, std::size_t nbytes, bool write, 
   bool bumped = false;
   for (auto& r : regions_) {
     if (hi <= r.lo || lo >= r.hi) continue;
+    if (r.inflight) {
+      // Runtime-owned isend payload: immutable until the request completes.
+      // Reads are fine (receivers view the shared bytes in place); a write
+      // is a race no happens-before edge can excuse, because the mailbox
+      // and any zero-copy receiver alias the storage.
+      if (!write) continue;
+      std::string msg = "esamr check [race]: rank " + std::to_string(rank) + " wrote " +
+                        std::to_string(nbytes) +
+                        " bytes inside an in-flight send buffer still owned by the comm "
+                        "runtime; rank " +
+                        std::to_string(r.owner) + " posted the isend at " + r.site.str() +
+                        ", write at " + site.str() +
+                        " (ownership returns when the request completes)";
+      std::vector<int> ranks{std::min(r.owner, rank), std::max(r.owner, rank)};
+      if (ranks[0] == ranks[1]) ranks.pop_back();
+      throw CheckError(Violation::race, std::move(ranks), msg);
+    }
     if (r.owner == rank) {
       if (write) {
         // An owner write is an event: re-anchor the happens-before

@@ -165,6 +165,16 @@ class Checker {
   /// does not happen-before this access.
   void access(int rank, const void* ptr, std::size_t nbytes, bool write, Site site);
 
+  // --- Buffer-ownership transfer (detector 1, async runtime). An isend
+  // moves the payload storage into the runtime: from post to Request
+  // completion the range is an *in-flight* region. Reads stay legal (the
+  // payload is immutable and receivers may view it in place), but ANY write
+  // — even by the posting rank, even one ordered by happens-before — is a
+  // diagnosed race, because the runtime and the receiver hold live views of
+  // the bytes. Completion (wait/test/drain) hands ownership back.
+  std::uint64_t begin_inflight(int rank, const void* ptr, std::size_t nbytes, Site site);
+  void end_inflight(std::uint64_t id);
+
   // --- Collective ledger (detector 2).
   /// Cross-check `fp` for this rank's `seq`-th collective against the other
   /// ranks. Throws CheckError(collective_mismatch) naming both call sites.
@@ -197,6 +207,7 @@ class Checker {
     std::uintptr_t lo = 0, hi = 0;
     std::vector<std::uint32_t> clk;  ///< owner's clock at registration
     Site site{};
+    bool inflight = false;  ///< runtime-owned isend payload: every write races
   };
 
   struct BarrierGen {

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <thread>
 
+#include "par/request.h"
 #include "par/world.h"
 
 namespace esamr::par {
@@ -136,19 +137,22 @@ void Comm::maybe_kill() {
   }
 }
 
-void Comm::send_impl(bool coll, int dest, int tag, const void* data, std::size_t nbytes) {
+void Comm::send_impl(bool coll, int dest, int tag, Buffer payload) {
   ESAMR_ASSERT(dest >= 0 && dest < world_->size, rank_,
                "par::send: destination rank " + std::to_string(dest) + " out of range [0, " +
                    std::to_string(world_->size) + ")");
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
-  msg.data.resize(nbytes);
-  if (nbytes > 0) std::memcpy(msg.data.data(), data, nbytes);
+  msg.payload = std::move(payload);
+  // The post-time sequence stamp: injection keys its delay and corruption
+  // streams on this, so the victim set is fixed when the send is posted and
+  // cannot shift with the order pending requests later complete in.
+  msg.seq = send_seq_[static_cast<std::size_t>(dest)]++;
   if (checker_ != nullptr) checker_->on_send(rank_, msg);
   if (integrity_) {
-    msg.seal.crc = check::Checker::crc32c(msg.data.data(), msg.data.size());
-    msg.seal.nbytes = msg.data.size();
+    msg.seal.crc = check::Checker::crc32c(msg.data(), msg.size());
+    msg.seal.nbytes = msg.size();
     msg.seal.stamped = true;
   }
 
@@ -156,13 +160,19 @@ void Comm::send_impl(bool coll, int dest, int tag, const void* data, std::size_t
   // so either class alone (or both together) sees the same seeded victims.
   const auto& inj = world_->opts.inject;
   double vis = 0.0;
-  if (inj.delays_enabled() || inj.corrupt_enabled()) {
-    const std::uint64_t seq = send_seq_[static_cast<std::size_t>(dest)]++;
-    if (inj.corrupt_enabled()) detail::corrupt_payload(inj, rank_, dest, seq, msg.data);
-    if (inj.delays_enabled()) {
-      const double us = detail::delay_us(inj, rank_, dest, seq);
-      if (us > 0.0) vis = wall_seconds() + us * 1e-6;
-    }
+  if (inj.corrupt_enabled() &&
+      detail::payload_fault(inj, rank_, dest, msg.seq) != detail::PayloadFault::none) {
+    // The shared storage is immutable (the sender's Request and the seal
+    // both reference it), so a selected fault mutates a private clone. Only
+    // the fault path pays this copy; the clean path stays zero-copy.
+    std::vector<std::byte> bytes(msg.data(), msg.data() + msg.size());
+    detail::buffer_note_copy(bytes.size());
+    detail::corrupt_payload(inj, rank_, dest, msg.seq, bytes);
+    msg.payload = Buffer::adopt(std::move(bytes));
+  }
+  if (inj.delays_enabled()) {
+    const double us = detail::delay_us(inj, rank_, dest, msg.seq);
+    if (us > 0.0) vis = wall_seconds() + us * 1e-6;
   }
 
   auto& box = coll ? *world_->coll_mail[static_cast<std::size_t>(dest)]
@@ -252,16 +262,18 @@ Message Comm::recv_impl(bool coll, int source, int tag, const char* what, check:
 void Comm::verify_envelope(const Message& m, const char* what) {
   if (!integrity_ || !m.seal.stamped) return;
   auto& st = stats();
-  st.bytes_verified += static_cast<std::int64_t>(m.data.size());
-  const std::uint32_t got = check::Checker::crc32c(m.data.data(), m.data.size());
-  if (m.data.size() == m.seal.nbytes && got == m.seal.crc) return;
+  st.bytes_verified += static_cast<std::int64_t>(m.size());
+  // The CRC is recomputed over the shared storage in place — verification
+  // never copies the payload.
+  const std::uint32_t got = check::Checker::crc32c(m.data(), m.size());
+  if (m.size() == m.seal.nbytes && got == m.seal.crc) return;
   ++st.corrupt_detected;
   char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "esamr::par corrupt message: rank %d detected payload corruption in %s from "
                 "rank %d tag %d (sent %llu B crc 0x%08x, received %zu B crc 0x%08x)",
                 rank_, what, m.source, m.tag,
-                static_cast<unsigned long long>(m.seal.nbytes), m.seal.crc, m.data.size(), got);
+                static_cast<unsigned long long>(m.seal.nbytes), m.seal.crc, m.size(), got);
   throw CorruptMessage(rank_, m.source, buf);
 }
 
@@ -297,9 +309,14 @@ void Comm::verify_shared(const std::vector<std::byte>& buf, const Seal& seal, in
 }
 
 void Comm::send_bytes(int dest, int tag, const void* data, std::size_t nbytes) {
+  send(dest, tag, Buffer::copy_of(data, nbytes));
+}
+
+void Comm::send(int dest, int tag, Buffer payload) {
   maybe_kill();
   perturb();
-  send_impl(false, dest, tag, data, nbytes);
+  const std::size_t nbytes = payload.size();
+  send_impl(false, dest, tag, std::move(payload));
   auto& st = stats();
   ++st.p2p_sends;
   st.p2p_send_bytes += static_cast<std::int64_t>(nbytes);
@@ -314,8 +331,191 @@ Message Comm::recv(int source, int tag, std::source_location loc) {
   auto& st = stats();
   st.recv_blocked_s += wall_seconds() - t0;
   ++st.p2p_recvs;
-  st.p2p_recv_bytes += static_cast<std::int64_t>(out.data.size());
+  st.p2p_recv_bytes += static_cast<std::int64_t>(out.size());
   return out;
+}
+
+bool Comm::try_recv_impl(bool coll, int source, int tag, Message* out) {
+  auto& box = coll ? *world_->coll_mail[static_cast<std::size_t>(rank_)]
+                   : *world_->mail[static_cast<std::size_t>(rank_)];
+  const double now = wall_seconds();
+  std::lock_guard<std::mutex> lock(box.m);
+  if (world_->poisoned.load()) throw detail::WorldPoisoned{};
+  for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+    if (!matches(*it, source, tag)) continue;
+    if (it->visible_at > now) continue;
+    *out = std::move(*it);
+    box.q.erase(it);
+    if (checker_ != nullptr) checker_->on_recv(rank_, *out);
+    return true;
+  }
+  return false;
+}
+
+// --- Request plumbing -------------------------------------------------------
+
+Request Comm::isend(int dest, int tag, Buffer payload, std::source_location loc) {
+  maybe_kill();
+  perturb();
+  auto st = std::make_shared<detail::RequestState>();
+  st->kind = detail::RequestState::Kind::send;
+  st->comm = this;
+  st->site = check::Site::of(loc);
+  st->held = payload;  // runtime keeps a reference until completion
+  const std::size_t nbytes = payload.size();
+  send_impl(false, dest, tag, std::move(payload));
+  auto& s = stats();
+  ++s.p2p_sends;
+  ++s.isends;
+  s.p2p_send_bytes += static_cast<std::int64_t>(nbytes);
+  // Ownership transfer into the runtime: until wait()/test() completes the
+  // request, a write into the payload range is a race the checker diagnoses.
+  if (checker_ != nullptr && nbytes > 0) {
+    st->inflight_id = checker_->begin_inflight(rank_, st->held.data(), nbytes, st->site);
+  }
+  return Request(std::move(st));
+}
+
+Request Comm::isend_bytes(int dest, int tag, const void* data, std::size_t nbytes,
+                          std::source_location loc) {
+  return isend(dest, tag, Buffer::copy_of(data, nbytes), loc);
+}
+
+Request Comm::irecv(int source, int tag, std::source_location loc) {
+  maybe_kill();
+  perturb();
+  auto st = std::make_shared<detail::RequestState>();
+  st->kind = detail::RequestState::Kind::recv;
+  st->comm = this;
+  st->source = source;
+  st->tag = tag;
+  st->site = check::Site::of(loc);
+  return Request(std::move(st));
+}
+
+bool Comm::req_test(detail::RequestState& st) {
+  if (st.done) return true;
+  switch (st.kind) {
+    case detail::RequestState::Kind::send: {
+      // Buffered sends complete at the first progress call: ownership of the
+      // payload storage returns from the runtime to the caller.
+      if (checker_ != nullptr && st.inflight_id != 0) {
+        checker_->end_inflight(st.inflight_id);
+        st.inflight_id = 0;
+      }
+      st.held = Buffer{};
+      st.done = true;
+      return true;
+    }
+    case detail::RequestState::Kind::recv: {
+      Message m;
+      if (!try_recv_impl(false, st.source, st.tag, &m)) return false;
+      verify_envelope(m, "irecv");
+      auto& s = stats();
+      ++s.p2p_recvs;
+      ++s.irecvs;
+      s.p2p_recv_bytes += static_cast<std::int64_t>(m.size());
+      st.msg = std::move(m);
+      st.done = true;
+      return true;
+    }
+    case detail::RequestState::Kind::coll:
+      if (!st.coll->step(*this, st, /*may_block=*/false)) return false;
+      st.coll.reset();
+      st.done = true;
+      return true;
+  }
+  return false;
+}
+
+void Comm::req_wait(detail::RequestState& st) {
+  if (st.done) return;
+  maybe_kill();
+  switch (st.kind) {
+    case detail::RequestState::Kind::send:
+      (void)req_test(st);
+      return;
+    case detail::RequestState::Kind::recv: {
+      if (req_test(st)) return;
+      const double t0 = wall_seconds();
+      Message m = recv_impl(false, st.source, st.tag, "irecv wait", st.site);
+      verify_envelope(m, "irecv");
+      auto& s = stats();
+      s.recv_blocked_s += wall_seconds() - t0;
+      ++s.p2p_recvs;
+      ++s.irecvs;
+      s.p2p_recv_bytes += static_cast<std::int64_t>(m.size());
+      st.msg = std::move(m);
+      st.done = true;
+      return;
+    }
+    case detail::RequestState::Kind::coll:
+      (void)st.coll->step(*this, st, /*may_block=*/true);
+      st.coll.reset();
+      st.done = true;
+      return;
+  }
+}
+
+void Comm::req_drop(detail::RequestState& st) noexcept {
+  if (st.done) return;
+  // Drain without completing: retire the checker region, hand the payload
+  // reference back to the runtime for disposal, abandon any collective state
+  // machine (legal only while the world is unwinding — peers are being
+  // poisoned). A pending irecv leaves its message unconsumed in the mailbox.
+  if (checker_ != nullptr && st.inflight_id != 0) {
+    checker_->end_inflight(st.inflight_id);
+    st.inflight_id = 0;
+  }
+  st.held = Buffer{};
+  st.coll.reset();
+  ++stats().requests_drained;
+  st.done = true;
+}
+
+// --- Request handle ---------------------------------------------------------
+
+Request::Request() noexcept = default;
+Request::Request(Request&&) noexcept = default;
+Request& Request::operator=(Request&&) noexcept = default;
+Request::Request(std::shared_ptr<detail::RequestState> st) noexcept : st_(std::move(st)) {}
+
+Request::~Request() {
+  if (st_ != nullptr && !st_->done && st_->comm != nullptr) st_->comm->req_drop(*st_);
+}
+
+bool Request::test() {
+  ESAMR_ASSERT(st_ != nullptr, -1, "par::Request::test on an empty request");
+  return st_->comm->req_test(*st_);
+}
+
+void Request::wait() {
+  ESAMR_ASSERT(st_ != nullptr, -1, "par::Request::wait on an empty request");
+  st_->comm->req_wait(*st_);
+}
+
+Message& Request::message() {
+  ESAMR_ASSERT(st_ != nullptr && st_->done && st_->kind == detail::RequestState::Kind::recv, -1,
+               "par::Request::message: not a completed receive");
+  return st_->msg;
+}
+
+std::span<const std::byte> Request::result_bytes() {
+  ESAMR_ASSERT(st_ != nullptr && st_->done && st_->kind == detail::RequestState::Kind::coll, -1,
+               "par::Request::result_bytes: not a completed collective");
+  return {st_->result.data(), st_->result.size()};
+}
+
+std::vector<std::vector<std::byte>>& Request::parts() {
+  ESAMR_ASSERT(st_ != nullptr && st_->done && st_->kind == detail::RequestState::Kind::coll, -1,
+               "par::Request::parts: not a completed collective");
+  return st_->parts;
+}
+
+void wait_all(std::span<Request> requests) {
+  for (auto& r : requests) {
+    if (r.valid()) r.wait();
+  }
 }
 
 bool Comm::iprobe(int source, int tag) {

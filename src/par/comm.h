@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <source_location>
 #include <span>
 #include <stdexcept>
@@ -38,6 +39,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "par/buffer.h"
 #include "par/check.h"
 #include "par/inject.h"
 #include "par/stats.h"
@@ -133,13 +135,22 @@ struct Seal {
   bool stamped = false;  ///< false = integrity was off at the writer
 };
 
-/// A received point-to-point message: envelope plus raw payload bytes.
+/// A received point-to-point message: envelope plus a shared immutable
+/// payload view (par/buffer.h). The same storage may still be referenced by
+/// the sender's pending Request; reading is always safe, and take_bytes()
+/// moves the storage out only when this message holds the last reference.
 struct Message {
   int source = any_source;
   int tag = any_tag;
-  std::vector<std::byte> data;
+  Buffer payload;
+  /// Per-(source, destination) post sequence number, stamped when the send
+  /// was posted (send or isend). Fault injection keys its payload/delay
+  /// streams on this, so victims are fixed at post time regardless of the
+  /// order requests later complete in.
+  std::uint64_t seq = 0;
   /// Integrity envelope (RunOptions::integrity): the payload CRC32C and byte
-  /// count at send time, verified by the receiver before `data` is used.
+  /// count stamped once at the sender over the shared storage, verified by
+  /// the receiver in place — no second copy on either side.
   Seal seal;
   /// Internal: earliest wall time (par::wall_seconds) at which the message
   /// is visible to recv/iprobe under fault injection. 0 = immediately.
@@ -149,16 +160,36 @@ struct Message {
   /// happens-before edge to the receiver.
   std::vector<std::uint32_t> hb;
 
-  /// Reinterpret the payload as an array of trivially copyable T.
+  const std::byte* data() const noexcept { return payload.data(); }
+  std::size_t size() const noexcept { return payload.size(); }
+
+  /// Zero-copy typed view of the payload in place (the fast-path consumer).
+  template <typename T>
+  std::span<const T> view() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ESAMR_ASSERT(size() % sizeof(T) == 0, source,
+                 "par::Message::view: payload size " + std::to_string(size()) +
+                     " is not a multiple of element size " + std::to_string(sizeof(T)) +
+                     " (tag " + std::to_string(tag) + ")");
+    ESAMR_ASSERT(reinterpret_cast<std::uintptr_t>(data()) % alignof(T) == 0, source,
+                 "par::Message::view: payload is not aligned for the element type");
+    return {reinterpret_cast<const T*>(data()), size() / sizeof(T)};
+  }
+
+  /// Move the payload bytes out (zero-copy when this message holds the last
+  /// reference to the storage; see Buffer::take_bytes).
+  std::vector<std::byte> take_bytes() { return std::move(payload).take_bytes(); }
+
+  /// Reinterpret the payload as an array of trivially copyable T (copies).
   template <typename T>
   std::vector<T> as() const {
     static_assert(std::is_trivially_copyable_v<T>);
-    ESAMR_ASSERT(data.size() % sizeof(T) == 0, source,
-                 "par::Message::as: payload size " + std::to_string(data.size()) +
+    ESAMR_ASSERT(size() % sizeof(T) == 0, source,
+                 "par::Message::as: payload size " + std::to_string(size()) +
                      " is not a multiple of element size " + std::to_string(sizeof(T)) +
                      " (tag " + std::to_string(tag) + ")");
-    std::vector<T> out(data.size() / sizeof(T));
-    if (!out.empty()) std::memcpy(out.data(), data.data(), data.size());
+    std::vector<T> out(size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), data(), size());
     return out;
   }
 
@@ -174,6 +205,76 @@ struct Message {
 };
 
 class World;
+class Comm;
+
+namespace detail {
+struct RequestState;
+struct CollOp;
+}  // namespace detail
+
+/// Handle for a pending nonblocking operation (isend / irecv / iallreduce /
+/// iallgatherv). Move-only. Completion semantics:
+///   - test(): one nonblocking progress attempt; true once complete.
+///   - wait(): block (with the usual timeout / deadlock machinery) until
+///     complete, then return. Results are read through message() (irecv),
+///     result<T>() (iallreduce), or parts()/parts_as<T>() (iallgatherv).
+///   - Destroying an incomplete Request drains it: ownership of a send
+///     buffer returns to the runtime for disposal and the checker's
+///     in-flight region is retired (CommStats::requests_drained counts it).
+///     resil::supervise relies on this when a fault unwinds a rank with
+///     requests still pending.
+class Request {
+ public:
+  Request() noexcept;
+  Request(Request&&) noexcept;
+  Request& operator=(Request&&) noexcept;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  ~Request();
+
+  bool valid() const noexcept { return st_ != nullptr; }
+  /// True once the operation has completed (never blocks; makes progress).
+  bool test();
+  /// Block until the operation completes.
+  void wait();
+
+  /// The received message (irecv only; wait()/test() must have completed).
+  Message& message();
+  /// The reduced result bytes (iallreduce only, after completion).
+  std::span<const std::byte> result_bytes();
+  template <typename T>
+  T result() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto raw = result_bytes();
+    T out;
+    ESAMR_ASSERT(raw.size() == sizeof(T), -1,
+                 "par::Request::result: payload size mismatch");
+    std::memcpy(&out, raw.data(), sizeof(T));
+    return out;
+  }
+  /// Per-rank payloads (iallgatherv only, after completion).
+  std::vector<std::vector<std::byte>>& parts();
+  template <typename T>
+  std::vector<std::vector<T>> parts_as() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto& raw = parts();
+    std::vector<std::vector<T>> out(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) {
+      out[r].resize(raw[r].size() / sizeof(T));
+      if (!out[r].empty()) std::memcpy(out[r].data(), raw[r].data(), raw[r].size());
+    }
+    return out;
+  }
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> st) noexcept;
+  std::shared_ptr<detail::RequestState> st_;
+};
+
+/// Complete every valid request, in order (order is immaterial: sends are
+/// buffered and receives match by envelope, so any completion order works).
+void wait_all(std::span<Request> requests);
 
 /// Per-rank communicator handle. One Comm per rank thread; methods are only
 /// ever invoked by the owning rank's thread (SPMD style).
@@ -191,6 +292,10 @@ class Comm {
 
   void send_bytes(int dest, int tag, const void* data, std::size_t nbytes);
 
+  /// Zero-copy send: the Buffer's storage is shared with the mailbox, not
+  /// copied (adopt a vector first for a fully copy-free path).
+  void send(int dest, int tag, Buffer payload);
+
   template <typename T>
   void send(int dest, int tag, std::span<const T> payload) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -199,6 +304,11 @@ class Comm {
   template <typename T>
   void send(int dest, int tag, const std::vector<T>& payload) {
     send(dest, tag, std::span<const T>(payload));
+  }
+  /// Zero-copy typed send: adopts the vector's storage.
+  template <typename T>
+  void send(int dest, int tag, std::vector<T>&& payload) {
+    send(dest, tag, Buffer::adopt_vec(std::move(payload)));
   }
   template <typename T>
   void send_value(int dest, int tag, const T& v) {
@@ -212,6 +322,67 @@ class Comm {
 
   /// Non-blocking test for a matching (visible) message.
   bool iprobe(int source = any_source, int tag = any_tag);
+
+  // --- Nonblocking point-to-point ------------------------------------------
+  // isend posts the message immediately (sends are buffered, so the transfer
+  // itself cannot block); the Request tracks buffer ownership: from post to
+  // completion the payload storage belongs to the runtime, and with the
+  // checker enabled any write into the range is a diagnosed race. irecv
+  // registers interest; test()/wait() match and consume the message.
+
+  /// Zero-copy nonblocking send of an adopted payload.
+  Request isend(int dest, int tag, Buffer payload,
+                std::source_location loc = std::source_location::current());
+  /// Zero-copy typed nonblocking send: adopts the vector's storage.
+  template <typename T>
+  Request isend(int dest, int tag, std::vector<T>&& payload,
+                std::source_location loc = std::source_location::current()) {
+    return isend(dest, tag, Buffer::adopt_vec(std::move(payload)), loc);
+  }
+  /// Nonblocking send that copies [data, data+nbytes) (compatibility path).
+  Request isend_bytes(int dest, int tag, const void* data, std::size_t nbytes,
+                      std::source_location loc = std::source_location::current());
+
+  /// Nonblocking receive of the first message matching (source, tag).
+  Request irecv(int source = any_source, int tag = any_tag,
+                std::source_location loc = std::source_location::current());
+
+  /// In-place combiner for the byte-level reductions: op(acc, in) folds `in`
+  /// into `acc`; both point at `nbytes` bytes. Must be commutative (all
+  /// ReduceOp combiners are).
+  using Combine = std::function<void(void* acc, const void* in)>;
+
+  // --- Nonblocking collectives ----------------------------------------------
+  // Split-phase p2p algorithms: the request is posted (and the collective
+  // sequence slot claimed) immediately, rounds advance inside test()/wait().
+  // Every rank must POST async collectives in the same order it would call
+  // the blocking twins; completion order is free. Results are bit-identical
+  // to the blocking algorithms and generate identical wire traffic. On the
+  // reference backend they degrade to the blocking implementation (the
+  // shared-slot oracle has no split-phase form).
+
+  Request iallreduce_bytes(const void* data, std::size_t nbytes, const Combine& op,
+                           std::source_location loc = std::source_location::current());
+  template <typename T>
+  Request iallreduce(const T& v, ReduceOp op,
+                     std::source_location loc = std::source_location::current()) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return iallreduce_bytes(&v, sizeof(T), combine_fn<T>(op), loc);
+  }
+
+  Request iallgatherv_bytes(const void* data, std::size_t nbytes,
+                            std::source_location loc = std::source_location::current());
+  template <typename T>
+  Request iallgatherv(std::span<const T> v,
+                      std::source_location loc = std::source_location::current()) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return iallgatherv_bytes(v.data(), v.size_bytes(), loc);
+  }
+  template <typename T>
+  Request iallgatherv(const std::vector<T>& v,
+                      std::source_location loc = std::source_location::current()) {
+    return iallgatherv(std::span<const T>(v), loc);
+  }
 
   // --- Collectives ---------------------------------------------------------
   // All ranks must call each collective in the same order. Byte-level entry
@@ -242,11 +413,6 @@ class Comm {
   std::vector<std::vector<std::byte>> alltoall_bytes(
       std::vector<std::vector<std::byte>> sendbufs,
       std::source_location loc = std::source_location::current());
-
-  /// In-place combiner for the byte-level reductions: op(acc, in) folds `in`
-  /// into `acc`; both point at `nbytes` bytes. Must be commutative (all
-  /// ReduceOp combiners are).
-  using Combine = std::function<void(void* acc, const void* in)>;
 
   /// All ranks end with the reduction over every rank's `inout` contribution.
   void allreduce_bytes(void* inout, std::size_t nbytes, const Combine& op,
@@ -400,8 +566,16 @@ class Comm {
   }
 
   // Implemented in comm.cc.
-  void send_impl(bool coll, int dest, int tag, const void* data, std::size_t nbytes);
+  void send_impl(bool coll, int dest, int tag, Buffer payload);
   Message recv_impl(bool coll, int source, int tag, const char* what, check::Site site);
+  /// Nonblocking matching scan of the mailbox; true (and *out filled) when a
+  /// visible matching message was consumed. No blocking, no wait publishing.
+  bool try_recv_impl(bool coll, int source, int tag, Message* out);
+  // Request plumbing (comm.cc): one nonblocking progress attempt, blocking
+  /// completion, and the destructor's non-throwing drain.
+  bool req_test(detail::RequestState& st);
+  void req_wait(detail::RequestState& st);
+  void req_drop(detail::RequestState& st) noexcept;
   void perturb();
   void maybe_kill();
   /// Verify a received message's integrity envelope; counts bytes_verified /
@@ -425,9 +599,20 @@ class Comm {
   /// cross-check it through the ledger (no-op below ESAMR_CHECK=2).
   void coll_check_result(const void* data, std::size_t nbytes);
   void coll_check_result(const std::vector<std::vector<std::byte>>& parts);
+  /// As above with an explicit collective sequence number and site — async
+  /// collectives complete out of lockstep, so they carry their own seq.
+  void coll_check_result_at(std::uint64_t seq, check::Site site, const void* data,
+                            std::size_t nbytes);
+  void coll_check_result_at(std::uint64_t seq, check::Site site,
+                            const std::vector<std::vector<std::byte>>& parts);
   int coll_tag(int round) const;
   void send_coll(int dest, int round, const void* data, std::size_t nbytes);
   Message recv_coll(int source, int round, Coll kind);
+  /// Tag-base-explicit variants used by the split-phase async collectives
+  /// (the member coll_tag_base_ may have moved on to a later collective).
+  void send_coll_at(int tag_base, int dest, int round, const void* data, std::size_t nbytes);
+  Message recv_coll_at(int tag_base, int source, int round, Coll kind, check::Site site);
+  bool try_recv_coll_at(int tag_base, int source, int round, Coll kind, Message* out);
 
   std::vector<std::vector<std::byte>> ref_gather(const void* data, std::size_t nbytes, bool count);
   std::vector<std::vector<std::byte>> p2p_rd_allgather(const void* data, std::size_t nbytes);
@@ -443,6 +628,10 @@ class Comm {
   void p2p_chain_exscan(const void* mine, void* prefix, std::size_t nbytes, const Combine& op);
   std::vector<std::vector<std::byte>> ref_alltoall(std::vector<std::vector<std::byte>> sendbufs);
   std::vector<std::vector<std::byte>> p2p_alltoall(std::vector<std::vector<std::byte>> sendbufs);
+
+  friend struct detail::RequestState;
+  friend struct detail::CollOp;
+  friend class Request;
 
   World* world_;
   int rank_;

@@ -1,0 +1,68 @@
+// Internal state behind par::Request (not part of the public API).
+//
+// A RequestState lives in a shared_ptr owned by the user-facing Request
+// handle. It is only ever touched by the owning rank's thread (SPMD style),
+// so no locking is needed; cross-rank effects go through the mailboxes.
+//
+// Async collectives are split-phase state machines (CollOp): the collective
+// slot (sequence number, tag base, checker fingerprint) is claimed at POST
+// time — which is why every rank must post async collectives in program
+// order — and the remaining algorithm rounds advance inside test()/wait()
+// via nonblocking (or, in wait, blocking) receives on the captured tag base.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "par/comm.h"
+
+namespace esamr::par::detail {
+
+/// Split-phase collective state machine. step() advances as far as message
+/// availability allows; with may_block it finishes outright.
+struct CollOp {
+  virtual ~CollOp() = default;
+  /// Returns true when the collective has fully completed.
+  virtual bool step(Comm& c, RequestState& st, bool may_block) = 0;
+
+ protected:
+  // Forwarders into Comm's private split-phase plumbing (CollOp is a friend
+  // of Comm; its concrete subclasses in collectives.cc are not).
+  static void send_at(Comm& c, int tag_base, int dest, int round, const void* data,
+                      std::size_t nbytes);
+  static Message recv_at(Comm& c, int tag_base, int source, int round, Coll kind,
+                         check::Site site);
+  static bool try_recv_at(Comm& c, int tag_base, int source, int round, Coll kind, Message* out);
+  static void check_result_at(Comm& c, std::uint64_t seq, check::Site site, const void* data,
+                              std::size_t nbytes);
+  static void check_result_at(Comm& c, std::uint64_t seq, check::Site site,
+                              const std::vector<std::vector<std::byte>>& parts);
+};
+
+struct RequestState {
+  enum class Kind { send, recv, coll };
+  Kind kind = Kind::recv;
+  Comm* comm = nullptr;
+  bool done = false;
+
+  // send: the runtime's reference to the payload storage while in flight,
+  // and the checker's in-flight region id (0 = none registered).
+  Buffer held;
+  std::uint64_t inflight_id = 0;
+
+  // recv: envelope registered at post time; msg filled at completion. The
+  // post-time call site doubles as the wait's diagnostic site.
+  int source = any_source;
+  int tag = any_tag;
+  check::Site site{};
+  Message msg;
+
+  // coll: the state machine plus its results. `result` is the iallreduce
+  // accumulator (bit-identical to the blocking twin's inout evolution);
+  // `parts` is the iallgatherv per-rank payload array.
+  std::unique_ptr<CollOp> coll;
+  std::vector<std::byte> result;
+  std::vector<std::vector<std::byte>> parts;
+};
+
+}  // namespace esamr::par::detail

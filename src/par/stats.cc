@@ -24,6 +24,9 @@ CommStats& CommStats::operator+=(const CommStats& o) {
   p2p_send_bytes += o.p2p_send_bytes;
   p2p_recvs += o.p2p_recvs;
   p2p_recv_bytes += o.p2p_recv_bytes;
+  isends += o.isends;
+  irecvs += o.irecvs;
+  requests_drained += o.requests_drained;
   coll_msgs += o.coll_msgs;
   coll_bytes += o.coll_bytes;
   for (int k = 0; k < n_coll_kinds; ++k) {
@@ -43,6 +46,9 @@ CommStats& CommStats::operator-=(const CommStats& o) {
   p2p_send_bytes -= o.p2p_send_bytes;
   p2p_recvs -= o.p2p_recvs;
   p2p_recv_bytes -= o.p2p_recv_bytes;
+  isends -= o.isends;
+  irecvs -= o.irecvs;
+  requests_drained -= o.requests_drained;
   coll_msgs -= o.coll_msgs;
   coll_bytes -= o.coll_bytes;
   for (int k = 0; k < n_coll_kinds; ++k) {
@@ -64,6 +70,12 @@ std::string summary(const CommStats& s) {
                 static_cast<long long>(s.p2p_sends), static_cast<long long>(s.p2p_send_bytes),
                 static_cast<long long>(s.p2p_recvs), static_cast<long long>(s.p2p_recv_bytes));
   out += line;
+  if (s.isends != 0 || s.irecvs != 0 || s.requests_drained != 0) {
+    std::snprintf(line, sizeof(line), "async: %lld isends, %lld irecvs, %lld drained\n",
+                  static_cast<long long>(s.isends), static_cast<long long>(s.irecvs),
+                  static_cast<long long>(s.requests_drained));
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "coll wire: %lld msgs / %lld B\n",
                 static_cast<long long>(s.coll_msgs), static_cast<long long>(s.coll_bytes));
   out += line;

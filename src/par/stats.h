@@ -37,11 +37,21 @@ const char* coll_name(Coll k);
 
 /// Per-rank counters. Trivially copyable so snapshots can gather it raw.
 struct CommStats {
-  // User point-to-point traffic (Comm::send* / Comm::recv).
+  // User point-to-point traffic (Comm::send* / Comm::recv). Nonblocking ops
+  // count here too (an isend is a p2p_send, an irecv completion a p2p_recv),
+  // so blocking and async forms of the same exchange report identical byte
+  // counts — the differential suite asserts exactly that.
   std::int64_t p2p_sends = 0;
   std::int64_t p2p_send_bytes = 0;
   std::int64_t p2p_recvs = 0;
   std::int64_t p2p_recv_bytes = 0;
+
+  // Async-runtime observability: how many of the p2p ops above were posted
+  // nonblocking, and how many pending requests were drained uncompleted
+  // (destroyed mid-flight, e.g. during a fault unwind).
+  std::int64_t isends = 0;
+  std::int64_t irecvs = 0;
+  std::int64_t requests_drained = 0;
 
   // Traffic generated inside collective algorithms (see accounting rule).
   std::int64_t coll_msgs = 0;

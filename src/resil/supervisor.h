@@ -26,6 +26,14 @@
 //
 // Any other exception is a bug, not a fault, and is rethrown immediately.
 //
+// Async runtime interaction: a fault can strike a rank with nonblocking
+// requests still pending. Unwinding the rank destroys the Request handles,
+// which drains them — each isend's payload reference is handed back to the
+// runtime for disposal, the checker's in-flight buffer regions are retired,
+// and CommStats::requests_drained counts the abandonments — so the retry
+// starts from a clean world with no leaked buffer ownership. Unconsumed
+// messages die with the World; every attempt constructs a fresh one.
+//
 // The body is an ordinary SPMD function; on every attempt it is expected to
 // probe its CheckpointRing and resume from the newest valid snapshot (the
 // mantle app does exactly this). The RecoveryContext passed alongside the

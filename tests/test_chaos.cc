@@ -15,7 +15,11 @@
 //
 // Fault classes: delivery delays, one-shot rank kill, in-flight payload
 // corruption (CRC32C envelopes detect it), checkpoint disk faults (the
-// write-verify commit loop heals them), and all of the above combined.
+// write-verify commit loop heals them), all of the above combined, and an
+// async class that runs the step through nonblocking isend/irecv/iallreduce
+// so kills and corruption strike with requests still pending — the fault
+// unwind drains them (Request dtor) and the digest must still match the
+// blocking baseline bit for bit.
 //
 // The workload is a deliberately small but communication-dense loop: a fixed
 // refined 2D forest with one per-octant field, per step a ring p2p exchange
@@ -92,12 +96,37 @@ void step_field(par::Comm& c, std::vector<double>& field, int k) {
   }
 }
 
+/// The same step through the async runtime: everything is posted up front
+/// (irecv, isend, iallreduce), so injected kills and corruption strike with
+/// requests in flight and the fault unwind must drain them cleanly. The
+/// values folded are bit-identical to step_field's, so a run that terminates
+/// successfully must reproduce the blocking baseline digest.
+void step_field_async(par::Comm& c, std::vector<double>& field, int k) {
+  double local = 0.0;
+  for (const double v : field) local += v;
+  const int next = (c.rank() + 1) % c.size();
+  const int prev = (c.rank() + c.size() - 1) % c.size();
+  par::Request rr = c.irecv(prev, /*tag=*/11);
+  par::Request rs = c.isend(next, 11, std::vector<double>{local});
+  par::Request ra = c.iallreduce(local, par::ReduceOp::sum);
+  rr.wait();
+  const double from_prev = rr.message().view<double>()[0];
+  ra.wait();
+  const double global = ra.result<double>();
+  const double scale = 1.0 + 1e-6 * std::sin(static_cast<double>(k + 1));
+  for (double& v : field) {
+    v = v * scale + 1e-9 * from_prev + 1e-12 * global;
+  }
+  rs.wait();
+}
+
 /// The supervised body: restore from the ring if it holds a snapshot, run
 /// the remaining steps (checkpointing each), and publish the final digest
 /// (CRC32C over the gathered global field bits + the forest checksum) into
 /// `digest_out` on rank 0.
 void chaos_body(par::Comm& c, resil::RecoveryContext& ctx, const Connectivity<2>& conn,
-                std::uint64_t cid, const std::string& ring_dir, std::uint64_t* digest_out) {
+                std::uint64_t cid, const std::string& ring_dir, std::uint64_t* digest_out,
+                bool async_steps = false) {
   resil::CheckpointRing ring(ring_dir, 2);
   auto f = make_forest(c, conn);
   std::vector<double> field;
@@ -117,7 +146,11 @@ void chaos_body(par::Comm& c, resil::RecoveryContext& ctx, const Connectivity<2>
   }
 
   for (int k = k0; k < n_steps; ++k) {
-    step_field(c, field, k);
+    if (async_steps) {
+      step_field_async(c, field, k);
+    } else {
+      step_field(c, field, k);
+    }
     resil::NamedField fld{"u", 1, field};
     resil::write_checkpoint_ring(f, cid, static_cast<std::uint64_t>(k), {fld}, ring);
     if (c.rank() == 0) ctx.note_step();
@@ -157,6 +190,7 @@ const char* outcome_name(Outcome o) {
 struct FaultClass {
   const char* name;
   void (*arm)(par::InjectConfig&);
+  bool async_steps = false;  ///< run the step through the nonblocking runtime
 };
 
 const FaultClass fault_classes[] = {
@@ -179,6 +213,17 @@ const FaultClass fault_classes[] = {
        i.corrupt_msg_stride = 48;
        i.disk_fault_stride = 3;
      }},
+    // Kills and payload corruption striking with isend/irecv/iallreduce
+    // requests pending; the unwind drains them and the retry must still
+    // reproduce the blocking baseline digest.
+    {"async",
+     [](par::InjectConfig& i) {
+       i.max_delay_us = 100.0;
+       i.kill_rank_stride = 2;
+       i.kill_after_ops = 25;
+       i.corrupt_msg_stride = 32;
+     },
+     /*async_steps=*/true},
 };
 
 /// Run one supervised chaos run and classify its outcome. Any exception that
@@ -203,7 +248,7 @@ Outcome chaos_run(int p, const FaultClass& fc, std::uint64_t seed, const Connect
   try {
     const auto stats = resil::supervise(
         p, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
-          chaos_body(c, ctx, conn, cid, dir, &digest);
+          chaos_body(c, ctx, conn, cid, dir, &digest, fc.async_steps);
         });
     EXPECT_EQ(digest, baseline) << "SILENT WRONG ANSWER: class=" << fc.name << " P=" << p
                                 << " seed=" << seed << " " << stats.summary();
@@ -230,7 +275,7 @@ Outcome chaos_run(int p, const FaultClass& fc, std::uint64_t seed, const Connect
 
 }  // namespace
 
-// The campaign: 5 fault classes x 5 seeds x P in {2, 4, 8, 16} = 100 runs.
+// The campaign: 6 fault classes x 5 seeds x P in {2, 4, 8, 16} = 120 runs.
 TEST(Chaos, CampaignTerminatesWithoutHangsOrSilentWrongAnswers) {
   const auto conn = Connectivity<2>::brick({2, 1}, {false, false});
   const std::uint64_t cid = resil::connectivity_id(conn);
@@ -286,6 +331,11 @@ TEST(Chaos, CampaignTerminatesWithoutHangsOrSilentWrongAnswers) {
   EXPECT_GT(by_class["corrupt_msg"][Outcome::recovered] +
                 by_class["corrupt_msg"][Outcome::aborted],
             0);
+  // The async class must both fire faults (requests were in flight when the
+  // kill / corruption struck) and produce at least one run that survived the
+  // drain-and-retry with the correct answer.
+  EXPECT_GT(by_class["async"][Outcome::recovered] + by_class["async"][Outcome::aborted], 0);
+  EXPECT_GT(by_class["async"][Outcome::success] + by_class["async"][Outcome::recovered], 0);
 
   std::printf("chaos campaign: %d runs\n", runs);
   for (const auto& [name, t] : by_class) {

@@ -252,6 +252,73 @@ TEST(CorruptPayload, AppliesExactlyTheSelectedFault) {
   EXPECT_GT(bitflips + truncates + duplicates, 0);
 }
 
+// Regression for the async runtime: payload-fault victims are keyed on the
+// per-(src, dst) post sequence stamped at isend time (Message::seq), NOT on
+// completion order. A stream of blocking sends and the same stream posted as
+// isends but completed out of order must therefore corrupt exactly the same
+// messages with exactly the same mutations. Integrity is off so corruption
+// flows through to the receiver instead of raising CorruptMessage.
+TEST(PayloadFault, VictimSetIdenticalForBlockingAndOutOfOrderIsends) {
+  par::RunOptions opts;
+  opts.integrity = false;
+  opts.inject.seed = 90210;
+  opts.inject.corrupt_msg_stride = 4;
+  constexpr int nmsg = 40;
+  const auto pristine = [](int i) {
+    std::vector<std::byte> v(24);
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      v[j] = static_cast<std::byte>(i * 7 + static_cast<int>(j));
+    }
+    return v;
+  };
+  const auto received = [&](bool async) {
+    std::vector<std::vector<std::byte>> got(nmsg);
+    par::run(2, opts, [&](par::Comm& c) {
+      if (c.rank() == 0) {
+        if (async) {
+          std::vector<par::Request> sends;
+          for (int i = 0; i < nmsg; ++i) {
+            sends.push_back(c.isend(1, 100 + i, pristine(i)));
+          }
+          par::wait_all(sends);
+        } else {
+          for (int i = 0; i < nmsg; ++i) c.send(1, 100 + i, pristine(i));
+        }
+      } else {
+        if (async) {
+          std::vector<par::Request> recvs;
+          recvs.reserve(nmsg);
+          for (int i = 0; i < nmsg; ++i) recvs.push_back(c.irecv(0, 100 + i));
+          for (int i = nmsg - 1; i >= 0; --i) {  // complete in reverse post order
+            recvs[static_cast<std::size_t>(i)].wait();
+            got[static_cast<std::size_t>(i)] =
+                recvs[static_cast<std::size_t>(i)].message().take_bytes();
+          }
+        } else {
+          for (int i = 0; i < nmsg; ++i) {
+            got[static_cast<std::size_t>(i)] = c.recv(0, 100 + i).take_bytes();
+          }
+        }
+      }
+    });
+    return got;
+  };
+  const auto blocking = received(false);
+  const auto async = received(true);
+  std::vector<int> victims_blocking, victims_async;
+  for (int i = 0; i < nmsg; ++i) {
+    if (blocking[static_cast<std::size_t>(i)] != pristine(i)) victims_blocking.push_back(i);
+    if (async[static_cast<std::size_t>(i)] != pristine(i)) victims_async.push_back(i);
+  }
+  EXPECT_GT(victims_blocking.size(), 0u) << "stride 4 over 40 messages must pick victims";
+  EXPECT_LT(victims_blocking.size(), static_cast<std::size_t>(nmsg));
+  EXPECT_EQ(victims_blocking, victims_async);
+  for (int i = 0; i < nmsg; ++i) {
+    EXPECT_EQ(blocking[static_cast<std::size_t>(i)], async[static_cast<std::size_t>(i)])
+        << "msg " << i << ": mutation differs between blocking and async delivery";
+  }
+}
+
 TEST(CorruptPayload, EmptyPayloadGrowsWhenSelected) {
   InjectConfig cfg;
   cfg.seed = 7;

@@ -80,3 +80,48 @@ TEST(PerfOps, Fig4WorkloadStaysWithinOpBudgets) {
   expect_within("ghost_octants_sent", ops.ghost_octants_sent, 3826);
   expect_within("ghost_interior_skipped", ops.ghost_interior_skipped, 20472);
 }
+
+// Zero-copy budget for the async runtime (ISSUE 6): a steady-state ring of
+// adopt + isend / irecv + in-place view must move payload bytes through the
+// runtime without a single copy — the sender's vector storage is adopted at
+// post, the receiver reads (and finally takes) the same storage. BufferStats
+// is process-wide, so the budget is a delta across exactly this workload.
+TEST(PerfOps, AsyncRingExchangeStaysZeroCopy) {
+  constexpr int iters = 8;
+  constexpr std::size_t n = 256;
+  par::buffer_stats_reset();
+  par::run(kRanks, [&](par::Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    for (int it = 0; it < iters; ++it) {
+      // Byte-backed payload: adopt at the sender, view in place at the
+      // receiver, take_bytes moves the storage back out — the only fully
+      // copy-free round trip (typed adoptions are zero-copy to send and view
+      // but type-erased, so a take would have to copy).
+      std::vector<std::byte> buf(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        buf[j] = static_cast<std::byte>(c.rank() + static_cast<int>(j) + it);
+      }
+      par::Request rr = c.irecv(prev, 42);
+      par::Request rs = c.isend(next, 42, std::move(buf));  // storage adopted
+      rr.wait();
+      const auto v = rr.message().view<std::byte>();  // read in place, no copy
+      ASSERT_EQ(v.size(), n);
+      EXPECT_EQ(v[1], static_cast<std::byte>(prev + 1 + it));
+      rs.wait();  // my held payload reference is released
+      // After the barrier every sender has released its reference, so the
+      // receiver holds the storage exclusively and take_bytes moves it out.
+      c.barrier();
+      const auto bytes = rr.message().take_bytes();
+      EXPECT_EQ(bytes.size(), n);
+    }
+  });
+  const auto bs = par::buffer_stats();
+  std::printf("  async ring: payloads=%lld adoptions=%lld copies=%lld zero_copy_takes=%lld\n",
+              static_cast<long long>(bs.payloads), static_cast<long long>(bs.adoptions),
+              static_cast<long long>(bs.copies), static_cast<long long>(bs.zero_copy_takes));
+  EXPECT_EQ(bs.copies, 0) << "async ring performed a payload copy";
+  EXPECT_EQ(bs.bytes_copied, 0);
+  EXPECT_GE(bs.adoptions, static_cast<std::int64_t>(kRanks) * iters);
+  EXPECT_GE(bs.zero_copy_takes, static_cast<std::int64_t>(kRanks) * iters);
+}
