@@ -83,6 +83,14 @@ struct RecoveryRow {
   std::int64_t bytes_reread;
 };
 
+struct MttrRow {
+  const char* fault;
+  const char* layer;  // which rung of the recovery ladder healed it
+  int heals;
+  double detect_s;  // silent-before-detection time (heartbeat rows)
+  double mttr_s;    // mean fault -> repaired interval at that layer
+};
+
 std::vector<BandwidthRow> bandwidth_table() {
   std::printf("=== snapshot write / restore bandwidth (wall clock) ===\n");
   std::printf("%4s %6s %9s %11s %12s %13s\n", "P", "level", "octants", "bytes",
@@ -191,8 +199,153 @@ std::vector<RecoveryRow> recovery_table() {
   return rows;
 }
 
+/// Checkpointed ring workload (cf. the chaos harness): per step a ring p2p
+/// exchange, an allreduce, and a snapshot commit; on restart it resumes from
+/// the newest valid snapshot and records the restore (which closes the
+/// supervisor's MTTR interval).
+void mttr_body(par::Comm& c, resil::RecoveryContext& ctx, const forest::Connectivity<2>& conn,
+               std::uint64_t cid, const std::string& dir) {
+  resil::CheckpointRing ring(dir, 2);
+  // Level 7 (16384 octants): snapshots big enough that a restart pays a real
+  // restore cost, the quantity the ladder's cheaper layers avoid.
+  auto f = forest::Forest<2>::new_uniform(c, &conn, 7);
+  std::vector<double> u;
+  f.for_each_local([&](int t, const forest::Octant<2>& o) {
+    u.push_back(1.0 + t + 1e-6 * o.x + 1e-7 * o.y);
+  });
+  int k0 = 0;
+  int have = 0;
+  if (c.rank() == 0) have = ring.entries().empty() ? 0 : 1;
+  have = c.bcast(have, 0);
+  if (have != 0) {
+    auto r = resil::restore_latest<2>(c, conn, cid, ring);
+    if (c.rank() == 0) ctx.record_restore(r.bytes_read);
+    k0 = static_cast<int>(r.step) + 1;
+    u = std::move(r.fields[0].data);
+  }
+  const int next = (c.rank() + 1) % c.size();
+  const int prev = (c.rank() + c.size() - 1) % c.size();
+  for (int k = k0; k < 8; ++k) {
+    double local = 0.0;
+    for (const double v : u) local += v;
+    c.send_value(next, /*tag=*/21, local);
+    const double fp = c.recv(prev, 21).value<double>();
+    const double g = c.allreduce(local, par::ReduceOp::sum);
+    for (double& v : u) v = v * (1.0 + 1e-9) + 1e-12 * fp + 1e-15 * g;
+    resil::write_checkpoint_ring(f, cid, static_cast<std::uint64_t>(k),
+                                 {resil::NamedField{"u", 1, u}}, ring);
+    if (c.rank() == 0) ctx.note_step();
+  }
+}
+
+/// Mean time to repair per ladder layer: the same fault class healed at the
+/// cheapest layer that can absorb it vs escalated to a full restart. The
+/// headline comparison is corrupt messages: link-level retransmission (a
+/// backoff-bounded in-place redelivery) vs supervisor restart-and-replay.
+std::vector<MttrRow> mttr_table() {
+  constexpr int P = 4;
+  const auto conn = forest::Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  std::vector<MttrRow> rows;
+
+  // Per-rank fault-free op counts, to place kills after the first snapshot.
+  std::vector<std::uint64_t> base_ops(P, 0);
+  par::run(P, [&](par::Comm& c) {
+    resil::RecoveryContext ctx(0);
+    mttr_body(c, ctx, conn, cid, scratch_dir("mttr_base"));
+    base_ops[static_cast<std::size_t>(c.rank())] = ops_of(c.stats());
+  });
+  int victim = -1;
+  const std::uint64_t kill_seed = pick_kill_seed(P, P, &victim);
+  const std::uint64_t kill_at = base_ops[static_cast<std::size_t>(victim)] * 3 / 4;
+
+  const auto run_cell = [&](const char* fault, const char* layer, par::RunOptions opts,
+                            resil::SupervisorOptions sopt, bool link_layer) {
+    // One ring per cell, created up front: the retry must find the previous
+    // attempt's snapshots (a fresh scratch per attempt would defeat restore).
+    const std::string dir = scratch_dir(std::string("mttr_") + fault + "_" + layer);
+    const auto a0 = par::arq_stats();
+    const auto stats = resil::supervise(
+        P, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
+          mttr_body(c, ctx, conn, cid, dir);
+        });
+    const auto a1 = par::arq_stats();
+    MttrRow row{fault, layer, 0, stats.detect_s, 0.0};
+    if (link_layer) {
+      row.heals = static_cast<int>(a1.healed - a0.healed);
+      row.mttr_s = row.heals > 0 ? (a1.heal_s - a0.heal_s) / row.heals : 0.0;
+    } else {
+      row.heals = stats.repairs;
+      row.mttr_s = stats.mttr_s();
+    }
+    rows.push_back(row);
+  };
+
+  // Corrupt messages: healed in place by ARQ vs escalated to a restart.
+  {
+    par::RunOptions opts;
+    opts.inject.seed = 4242;
+    opts.inject.corrupt_msg_stride = 16;
+    resil::SupervisorOptions sopt;
+    sopt.backoff_initial_s = 0.0;
+    run_cell("corrupt_msg", "link_arq", opts, sopt, /*link_layer=*/true);
+    opts.arq.enabled = false;
+    run_cell("corrupt_msg", "full_restart", opts, sopt, /*link_layer=*/false);
+  }
+  // Rank kill: in-place shrink vs classic full restart.
+  {
+    par::RunOptions opts;
+    opts.inject.seed = kill_seed;
+    opts.inject.kill_rank_stride = P;
+    opts.inject.kill_after_ops = kill_at;
+    resil::SupervisorOptions sopt;
+    sopt.backoff_initial_s = 0.0;
+    sopt.clear_kill_on_retry = false;
+    sopt.policy.on_rank_failure = resil::RecoveryMode::shrink;
+    run_cell("rank_kill", "shrink", opts, sopt, /*link_layer=*/false);
+    sopt.clear_kill_on_retry = true;
+    sopt.policy.on_rank_failure = resil::RecoveryMode::full_restart;
+    run_cell("rank_kill", "full_restart", opts, sopt, /*link_layer=*/false);
+  }
+  // Silent death: the heartbeat detector names the victim, shrink repairs it.
+  {
+    par::RunOptions opts;
+    opts.inject.seed = kill_seed;
+    opts.inject.kill_rank_stride = P;
+    opts.inject.kill_after_ops = kill_at;
+    opts.inject.kill_silent = true;
+    opts.heartbeat_timeout_s = 0.2;
+    resil::SupervisorOptions sopt;
+    sopt.backoff_initial_s = 0.0;
+    sopt.clear_kill_on_retry = false;
+    sopt.policy.on_rank_failure = resil::RecoveryMode::shrink;
+    run_cell("silent_death", "heartbeat_shrink", opts, sopt, /*link_layer=*/false);
+  }
+
+  std::printf("\n=== mean time to repair per recovery-ladder layer ===\n");
+  std::printf("%-13s %-17s %6s %10s %12s\n", "fault", "healing layer", "heals", "detect s",
+              "mttr s");
+  for (const auto& r : rows) {
+    std::printf("%-13s %-17s %6d %10.4f %12.6f\n", r.fault, r.layer, r.heals, r.detect_s,
+                r.mttr_s);
+  }
+  double arq = 0.0, restart = 0.0;
+  for (const auto& r : rows) {
+    if (std::strcmp(r.fault, "corrupt_msg") == 0) {
+      if (std::strcmp(r.layer, "link_arq") == 0) arq = r.mttr_s;
+      if (std::strcmp(r.layer, "full_restart") == 0) restart = r.mttr_s;
+    }
+  }
+  if (arq > 0.0 && restart > 0.0) {
+    std::printf("(corrupt-message MTTR: restart / link-ARQ = %.1fx — healing at the link\n"
+                " layer avoids the world teardown + restore + replay a restart pays)\n",
+                restart / arq);
+  }
+  return rows;
+}
+
 void write_json(const char* path, const std::vector<BandwidthRow>& bw,
-                const std::vector<RecoveryRow>& rec) {
+                const std::vector<RecoveryRow>& rec, const std::vector<MttrRow>& mttr) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_resil: cannot open %s for writing\n", path);
@@ -217,6 +370,15 @@ void write_json(const char* path, const std::vector<BandwidthRow>& bw,
                  static_cast<unsigned long long>(r.steps_replayed), r.bytes_reread,
                  i + 1 < rec.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"mttr\": [\n");
+  for (std::size_t i = 0; i < mttr.size(); ++i) {
+    const auto& r = mttr[i];
+    std::fprintf(out,
+                 "    {\"fault\": \"%s\", \"layer\": \"%s\", \"heals\": %d, "
+                 "\"detect_s\": %.6f, \"mttr_s\": %.6f}%s\n",
+                 r.fault, r.layer, r.heals, r.detect_s, r.mttr_s,
+                 i + 1 < mttr.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path);
@@ -231,6 +393,7 @@ int main(int argc, char** argv) {
   }
   const auto bw = bandwidth_table();
   const auto rec = recovery_table();
-  if (json_path != nullptr) write_json(json_path, bw, rec);
+  const auto mttr = mttr_table();
+  if (json_path != nullptr) write_json(json_path, bw, rec, mttr);
   return 0;
 }

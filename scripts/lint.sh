@@ -25,6 +25,21 @@ if grep -rnE 'std::vector<\s*(std::)?uint8_t\s*>' "${repo_root}/src/par" \
 fi
 echo "lint.sh: OK — no raw uint8_t payload signatures in src/par"
 
+# Grep gate: every sleep in the tree must go through the seeded-backoff
+# helper (par/backoff.h: detail::sleep_s / sleep_us, SeededBackoff). A raw
+# std::this_thread::sleep_for anywhere else is an unseeded, unaccounted delay
+# — invisible to the deterministic-replay story and to backoff bookkeeping.
+# src/par/backoff.cc is the single sanctioned call site.
+if grep -rn 'std::this_thread::sleep_for' \
+    "${repo_root}/src" "${repo_root}/tests" "${repo_root}/bench" \
+    --include='*.h' --include='*.cc' \
+    | grep -vE 'src/par/backoff\.(cc|h)'; then
+  echo "lint.sh: FAILED — raw std::this_thread::sleep_for outside src/par/backoff.cc"
+  echo "         (use par::detail::sleep_s/sleep_us or par::SeededBackoff; see src/par/backoff.h)"
+  exit 1
+fi
+echo "lint.sh: OK — all sleeps go through the backoff helper"
+
 tidy_bin="$(command -v clang-tidy || true)"
 if [[ -z "${tidy_bin}" ]]; then
   echo "lint.sh: clang-tidy not found on PATH; skipping (install clang-tidy to enable)"

@@ -1,0 +1,40 @@
+#include "par/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "par/inject.h"
+
+namespace esamr::par {
+
+double SeededBackoff::next_sleep_s() {
+  if (!enabled()) return 0.0;
+  const double u = 2.0 * detail::unit_hash(key_, attempt_, 0) - 1.0;
+  const double sleep_s = nominal_ * (1.0 + policy_.jitter * u);
+  nominal_ = std::min(nominal_ * policy_.factor, policy_.cap_s);
+  ++attempt_;
+  return sleep_s;
+}
+
+double SeededBackoff::sleep() {
+  const double s = next_sleep_s();
+  detail::sleep_s(s);
+  return s;
+}
+
+namespace detail {
+
+void sleep_s(double seconds) {
+  if (seconds > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+void sleep_us(double micros) {
+  if (micros > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(micros));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace esamr::par

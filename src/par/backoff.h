@@ -1,0 +1,62 @@
+// Shared seeded-backoff helper — the single sanctioned home of thread sleeps
+// in this codebase (scripts/lint.sh grep-gates raw std::this_thread::sleep_for
+// everywhere else), so every retry/backoff path draws its delays from the
+// same deterministic primitive and replays bit-identically per seed.
+//
+// SeededBackoff produces the exponential-with-jitter schedule used by
+// resil::supervise (restart backoff) and the link-level ARQ retransmission
+// loop (par/comm.cc): sleep k is
+//
+//   nominal_k * (1 + jitter * u_k),   u_k = 2 * unit_hash(key, k, 0) - 1
+//
+// with nominal_0 = initial_s and nominal_{k+1} = min(nominal_k * factor,
+// cap_s). The jitter stream is a pure function of `key` (callers fold their
+// inject seed with a per-layer salt and any per-link coordinates), so
+// concurrent retry loops decorrelate while each stays reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace esamr::par {
+
+/// Backoff schedule parameters shared by the supervisor and ARQ layers.
+struct BackoffPolicy {
+  double initial_s = 0.01;  ///< nominal first sleep; 0 disables sleeping
+  double factor = 2.0;      ///< nominal growth per attempt
+  double cap_s = 1.0;       ///< nominal ceiling
+  double jitter = 0.5;      ///< fractional seeded jitter; 0 = exact schedule
+};
+
+/// Deterministic jittered-exponential backoff stream (see file header).
+class SeededBackoff {
+ public:
+  SeededBackoff(const BackoffPolicy& policy, std::uint64_t key)
+      : policy_(policy), key_(key), nominal_(policy.initial_s) {}
+
+  /// True when the policy sleeps at all (initial_s > 0).
+  bool enabled() const { return policy_.initial_s > 0.0; }
+
+  /// The next jittered sleep duration in seconds; advances the schedule.
+  /// Returns 0 when the policy is disabled.
+  double next_sleep_s();
+
+  /// Draw the next duration and actually sleep it; returns the duration.
+  double sleep();
+
+ private:
+  BackoffPolicy policy_;
+  std::uint64_t key_;
+  double nominal_;
+  std::uint64_t attempt_ = 0;
+};
+
+namespace detail {
+
+/// The raw sleep primitives every timed wait that is not a condition-variable
+/// wait must route through (lint-gated; see file header).
+void sleep_s(double seconds);
+void sleep_us(double micros);
+
+}  // namespace detail
+
+}  // namespace esamr::par

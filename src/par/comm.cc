@@ -41,16 +41,49 @@ struct BlockClear {
   }
 };
 
-/// While blocked with the checker enabled, sleep in slices this long and run
-/// deadlock detection between slices, so a cycle is reported well before any
-/// configured timeout (and even with timeouts disabled).
+/// While blocked with the checker or heartbeat detector enabled, sleep in
+/// slices this long and run deadlock/liveness detection between slices, so a
+/// cycle or a dead rank is reported well before any configured timeout (and
+/// even with timeouts disabled).
 constexpr double detect_slice_s = 0.05;
 
+/// Release the sender-retained ARQ payload for a verified message (the
+/// receiver-side ack). No-op for messages that were never retained.
+void arq_ack(World* w, int dest, const Message& m) {
+  auto& box = *w->retain[static_cast<std::size_t>(dest)];
+  std::lock_guard<std::mutex> lock(box.m);
+  if (box.entries.erase({m.source, m.seq}) != 0) detail::arq_note_acked();
+}
+
 }  // namespace
+
+void World::hb_check(int rank, const char* what, check::Site site) {
+  if (!hb_armed()) return;
+  const double now = wall_seconds();
+  const double window = opts.heartbeat_timeout_s;
+  for (int r = 0; r < size; ++r) {
+    if (r == rank) continue;
+    if (hb_done[static_cast<std::size_t>(r)].load(std::memory_order_relaxed)) continue;
+    const double silent = now - hb_last[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
+    if (silent < window) continue;
+    // A peer is past the window and never marked itself done: declare it dead.
+    // The verdict carries the detector's wait site so the diagnostic reads
+    // like the checker's deadlock reports (who was blocked where, waiting on
+    // whom) — but names a failure, not a cycle.
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "esamr::par rank failure detected: rank %d silent for %.3f s (heartbeat "
+                  "timeout %.3f s); detected by rank %d blocked in %s at %s",
+                  r, silent, window, rank, what, site.str().c_str());
+    throw RankFailure(r, rank, silent, buf);
+  }
+}
 
 void World::barrier_wait(int rank, check::Site site) {
   check::Checker* chk = checker.get();
   if (chk != nullptr) chk->barrier_arrive(rank);
+  hb_beat(rank);
+  const bool slicing = chk != nullptr || hb_armed();
   const double timeout = opts.barrier_timeout_s;
   const double t0 = wall_seconds();
   bool published = false;
@@ -76,14 +109,14 @@ void World::barrier_wait(int rank, check::Site site) {
                                " ranks arrived)");
           }
         }
-        if (chk == nullptr) {
+        if (!slicing) {
           if (left > 0.0) {
             bar_cv.wait_for(lock, std::chrono::duration<double>(left));
           } else {
             bar_cv.wait(lock);
           }
         } else {
-          if (!published) {
+          if (chk != nullptr && !published) {
             chk->block_barrier(rank, site);
             published = true;
           }
@@ -92,7 +125,9 @@ void World::barrier_wait(int rank, check::Site site) {
           bar_cv.wait_for(lock, std::chrono::duration<double>(slice));
           if (bar_gen != gen) break;
           lock.unlock();
-          chk->detect(rank, *this);
+          hb_beat(rank);
+          hb_check(rank, "barrier", site);
+          if (chk != nullptr) chk->detect(rank, *this);
           lock.lock();
         }
       }
@@ -125,17 +160,24 @@ CommStats& Comm::stats() { return world_->stats[static_cast<std::size_t>(rank_)]
 const CommStats& Comm::stats() const { return world_->stats[static_cast<std::size_t>(rank_)]; }
 
 void Comm::perturb() {
+  world_->hb_beat(rank_);
   if (!slow_rank_) return;
   const double us = detail::slow_op_sleep_us(world_->opts.inject, rank_, op_seq_++);
-  if (us > 0.0) std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+  if (us > 0.0) detail::sleep_us(us);
 }
 
 void Comm::maybe_kill() {
   if (!kill_rank_) return;
   if (++kill_op_seq_ >= world_->opts.inject.kill_after_ops) {
+    // A silent death just stops the rank (no diagnostic, no poisoning); the
+    // run() thread body swallows SilentDeath without marking the rank done,
+    // so only the heartbeat detector or the wait timeouts can name it.
+    if (world_->opts.inject.kill_silent) throw detail::SilentDeath{};
     throw RankFailure(rank_, kill_op_seq_);
   }
 }
+
+bool Comm::arq_active() const noexcept { return integrity_ && world_->opts.arq.enabled; }
 
 void Comm::send_impl(bool coll, int dest, int tag, Buffer payload) {
   ESAMR_ASSERT(dest >= 0 && dest < world_->size, rank_,
@@ -154,6 +196,15 @@ void Comm::send_impl(bool coll, int dest, int tag, Buffer payload) {
     msg.seal.crc = check::Checker::crc32c(msg.data(), msg.size());
     msg.seal.nbytes = msg.size();
     msg.seal.stamped = true;
+    if (world_->opts.arq.enabled) {
+      // Retain the clean sealed payload (zero-copy: one refcount) until the
+      // receiver's verification acks it, so a corrupt delivery can be healed
+      // by link-level retransmission instead of escalating.
+      auto& box = *world_->retain[static_cast<std::size_t>(dest)];
+      std::lock_guard<std::mutex> lock(box.m);
+      box.entries.insert_or_assign({rank_, msg.seq}, World::RetainEntry{msg.payload, msg.seal});
+      detail::arq_note_retained();
+    }
   }
 
   // Delays and payload corruption share the per-(src, dst) sequence stream,
@@ -194,6 +245,7 @@ Message Comm::recv_impl(bool coll, int source, int tag, const char* what, check:
   auto& box = coll ? *world_->coll_mail[static_cast<std::size_t>(rank_)]
                    : *world_->mail[static_cast<std::size_t>(rank_)];
   const double timeout = world_->opts.recv_timeout_s;
+  const bool slicing = checker_ != nullptr || world_->hb_armed();
   const double t0 = wall_seconds();
   bool published = false;
   BlockClear clear{checker_, rank_, &published};
@@ -238,14 +290,14 @@ Message Comm::recv_impl(bool coll, int source, int tag, const char* what, check:
       const double until_vis = next_vis - now;
       if (wait_s < 0.0 || until_vis < wait_s) wait_s = until_vis;
     }
-    if (checker_ == nullptr) {
+    if (!slicing) {
       if (wait_s < 0.0) {
         box.cv.wait(lock);
       } else if (wait_s > 0.0) {
         box.cv.wait_for(lock, std::chrono::duration<double>(wait_s));
       }
     } else {
-      if (!published) {
+      if (checker_ != nullptr && !published) {
         checker_->block_recv(rank_, coll, source, tag, site);
         published = true;
       }
@@ -253,28 +305,96 @@ Message Comm::recv_impl(bool coll, int source, int tag, const char* what, check:
       if (wait_s >= 0.0 && wait_s < slice) slice = wait_s;
       if (slice > 0.0) box.cv.wait_for(lock, std::chrono::duration<double>(slice));
       lock.unlock();
-      checker_->detect(rank_, *world_);
+      world_->hb_beat(rank_);
+      world_->hb_check(rank_, what, site);
+      if (checker_ != nullptr) checker_->detect(rank_, *world_);
       lock.lock();
     }
   }
 }
 
-void Comm::verify_envelope(const Message& m, const char* what) {
+void Comm::verify_envelope(Message& m, const char* what) {
   if (!integrity_ || !m.seal.stamped) return;
   auto& st = stats();
   st.bytes_verified += static_cast<std::int64_t>(m.size());
   // The CRC is recomputed over the shared storage in place — verification
   // never copies the payload.
   const std::uint32_t got = check::Checker::crc32c(m.data(), m.size());
-  if (m.size() == m.seal.nbytes && got == m.seal.crc) return;
+  if (m.size() == m.seal.nbytes && got == m.seal.crc) {
+    if (arq_active()) arq_ack(world_, rank_, m);
+    return;
+  }
   ++st.corrupt_detected;
-  char buf[224];
+  const auto& arq = world_->opts.arq;
+  int retransmits_spent = 0;
+  if (arq_active()) {
+    // Link-level repair: re-read the sender-retained clean payload under a
+    // bounded seeded-backoff retransmission loop. Each retransmission
+    // travels the same injected link, so the corruption stream is redrawn
+    // with a retransmit-salted sequence coordinate — persistent injection
+    // (stride 1) defeats every retry and escalates; sparse injection heals
+    // on the first clean draw, zero-copy from the retained buffer.
+    const double t0 = wall_seconds();
+    World::RetainEntry entry;
+    bool have = false;
+    {
+      auto& box = *world_->retain[static_cast<std::size_t>(rank_)];
+      std::lock_guard<std::mutex> lock(box.m);
+      const auto it = box.entries.find({m.source, m.seq});
+      if (it != box.entries.end()) {
+        entry = it->second;
+        have = true;
+      }
+    }
+    if (have) {
+      const auto& inj = world_->opts.inject;
+      const std::uint64_t pair = (static_cast<std::uint64_t>(m.source) << 32) |
+                                 static_cast<std::uint64_t>(rank_);
+      SeededBackoff backoff(arq.backoff,
+                            detail::mix64(inj.seed ^ 0xa29e770aULL ^ detail::mix64(pair)) ^ m.seq);
+      for (int attempt = 1; attempt <= arq.max_retransmits; ++attempt) {
+        ++st.retransmits;
+        ++retransmits_spent;
+        detail::arq_note_retransmit();
+        backoff.sleep();
+        world_->hb_beat(rank_);
+        Buffer fresh = entry.payload;
+        const std::uint64_t rseq =
+            detail::mix64(m.seq ^ (0xa1970000ULL + static_cast<std::uint64_t>(attempt)));
+        if (inj.corrupt_enabled() &&
+            detail::payload_fault(inj, m.source, rank_, rseq) != detail::PayloadFault::none) {
+          std::vector<std::byte> bytes(fresh.data(), fresh.data() + fresh.size());
+          detail::buffer_note_copy(bytes.size());
+          detail::corrupt_payload(inj, m.source, rank_, rseq, bytes);
+          fresh = Buffer::adopt(std::move(bytes));
+        }
+        st.bytes_verified += static_cast<std::int64_t>(fresh.size());
+        const std::uint32_t crc = check::Checker::crc32c(fresh.data(), fresh.size());
+        if (fresh.size() == entry.seal.nbytes && crc == entry.seal.crc) {
+          m.payload = std::move(fresh);
+          ++st.arq_healed;
+          detail::arq_note_healed(wall_seconds() - t0);
+          arq_ack(world_, rank_, m);
+          return;
+        }
+        ++st.corrupt_detected;
+      }
+    }
+    ++st.arq_escalations;
+    detail::arq_note_escalated();
+  }
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "esamr::par corrupt message: rank %d detected payload corruption in %s from "
                 "rank %d tag %d (sent %llu B crc 0x%08x, received %zu B crc 0x%08x)",
                 rank_, what, m.source, m.tag,
                 static_cast<unsigned long long>(m.seal.nbytes), m.seal.crc, m.size(), got);
-  throw CorruptMessage(rank_, m.source, buf);
+  std::string diag(buf);
+  if (retransmits_spent > 0) {
+    diag += "; corruption persisted after " + std::to_string(retransmits_spent) +
+            " retransmission(s), escalating";
+  }
+  throw CorruptMessage(rank_, m.source, diag);
 }
 
 void Comm::seal_shared(std::vector<std::byte>& buf, Seal& seal) {
@@ -540,6 +660,12 @@ void Comm::barrier(std::source_location loc) {
 void run(int nranks, const RunOptions& opts, const std::function<void(Comm&)>& fn) {
   ESAMR_ASSERT(nranks >= 1, -1,
                "par::run: nranks must be >= 1, got " + std::to_string(nranks));
+  ESAMR_ASSERT(!(opts.inject.kill_silent && opts.inject.kill_enabled()) ||
+                   opts.heartbeat_timeout_s > 0.0 || opts.recv_timeout_s > 0.0 ||
+                   opts.barrier_timeout_s > 0.0,
+               -1,
+               "par::run: kill_silent needs a detector — arm heartbeat_timeout_s or a "
+               "recv/barrier timeout, or a silent kill becomes a silent hang");
   World world(nranks, opts);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
@@ -547,17 +673,27 @@ void run(int nranks, const RunOptions& opts, const std::function<void(Comm&)>& f
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&world, &fn, &errors, r] {
       Comm comm(&world, r);
+      bool silent = false;
       try {
         fn(comm);
+      } catch (const detail::SilentDeath&) {
+        // The rank dropped off the network: no error, no poisoning, and — the
+        // point — no done-mark below, so the deadlock detector still sees it
+        // as running (a dead node is indistinguishable from a slow one) and
+        // only the heartbeat detector or a timeout can name the failure.
+        silent = true;
       } catch (const detail::WorldPoisoned&) {
         // Another rank failed first; unwind quietly.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         world.poison();
       }
-      // A returned rank can never unblock anyone; tell the deadlock and
-      // collective-count detectors.
-      if (world.checker) world.checker->on_rank_done(r);
+      if (!silent) {
+        // A returned rank can never unblock anyone and will never beat again;
+        // tell the deadlock/collective-count detectors and the heartbeat.
+        world.hb_mark_done(r);
+        if (world.checker) world.checker->on_rank_done(r);
+      }
     });
   }
   for (auto& t : threads) t.join();

@@ -39,6 +39,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "par/backoff.h"
 #include "par/buffer.h"
 #include "par/check.h"
 #include "par/inject.h"
@@ -57,6 +58,26 @@ enum class ReduceOp { sum, min, max, logical_or, logical_and };
 /// Collective implementation backend (see file header).
 enum class Backend { reference, p2p };
 
+/// Link-level automatic repeat request — the cheapest rung of the graded
+/// recovery ladder (DESIGN.md "Recovery ladder"). With integrity on, every
+/// sealed send retains a zero-copy reference to the clean payload (keyed by
+/// (source, seq) per destination) until the receiver's CRC verification acks
+/// it. On a CRC failure the receiver, instead of escalating CorruptMessage
+/// to the supervisor, re-reads the retained payload under a bounded
+/// seeded-backoff loop; only when the budget is exhausted (retransmissions
+/// keep drawing injected faults) does the corruption escalate. The reference
+/// backend's shared slots are not covered (a clean retained copy does not
+/// exist there); shared-slot corruption always escalates.
+struct ArqConfig {
+  bool enabled = true;
+  /// Retransmission requests per corrupt message before escalating.
+  int max_retransmits = 3;
+  /// Seeded backoff between retransmission requests; microsecond scale by
+  /// default — a link retry must stay orders of magnitude cheaper than the
+  /// supervisor's restart backoff.
+  BackoffPolicy backoff{100e-6, 2.0, 2e-3, 0.5};
+};
+
 /// Options for one SPMD section.
 struct RunOptions {
   Backend backend = Backend::p2p;
@@ -68,6 +89,19 @@ struct RunOptions {
   /// false (or ESAMR_INTEGRITY=0 for par::run calls without explicit
   /// options) to measure the unprotected fast path (bench_comm).
   bool integrity = true;
+  /// Link-level retransmission of corrupt messages (see ArqConfig). Active
+  /// only when `integrity` is also on.
+  ArqConfig arq{};
+  /// Heartbeat failure detection: every comm operation (and every slice of a
+  /// blocked wait) stamps the rank's liveness; a rank silent for longer than
+  /// this window — and not yet returned from its SPMD function — is declared
+  /// dead by the first peer to notice from inside a blocked recv/barrier,
+  /// which throws RankFailure naming the dead rank, the detector, and the
+  /// detector's wait site. Converts silent rank death (InjectConfig::
+  /// kill_silent) into a named fault within a bounded window instead of a
+  /// hang-then-timeout. 0 = disarmed. The window must comfortably exceed the
+  /// longest compute-only gap between a rank's comm operations.
+  double heartbeat_timeout_s = 0.0;
   /// recv (point-to-point and inside collectives) fails with TimeoutError
   /// after this many seconds without a matching visible message; 0 = wait
   /// forever.
@@ -101,10 +135,23 @@ class RankFailure : public std::runtime_error {
       : std::runtime_error("esamr::par rank failure injected: rank " + std::to_string(rank) +
                            " killed at comm op " + std::to_string(op)),
         rank_(rank) {}
+  /// Heartbeat-detector verdict: `rank` was silent for `silent_s` seconds and
+  /// was declared dead by `detector` (the peer whose blocked wait noticed).
+  /// `what` carries the full diagnostic including the detector's wait site.
+  RankFailure(int rank, int detector, double silent_s, const std::string& what)
+      : std::runtime_error(what), rank_(rank), detector_(detector), silent_s_(silent_s) {}
+  /// The rank that failed (the victim, not the detector).
   int rank() const noexcept { return rank_; }
+  /// The peer that detected the failure, or -1 when the failure was thrown
+  /// by the victim itself (injected kill).
+  int detector() const noexcept { return detector_; }
+  /// How long the victim had been silent at detection (0 for injected kills).
+  double silent_s() const noexcept { return silent_s_; }
 
  private:
   int rank_;
+  int detector_ = -1;
+  double silent_s_ = 0.0;
 };
 
 /// Thrown by the receiving rank when a message payload fails its integrity
@@ -579,9 +626,14 @@ class Comm {
   void perturb();
   void maybe_kill();
   /// Verify a received message's integrity envelope; counts bytes_verified /
-  /// corrupt_detected and throws CorruptMessage on mismatch. `what` names the
-  /// operation (recv / collective) for the diagnostic.
-  void verify_envelope(const Message& m, const char* what);
+  /// corrupt_detected. On mismatch with ARQ active, repairs the payload in
+  /// place from the sender's retained copy under a bounded seeded-backoff
+  /// retransmission loop; throws CorruptMessage only when ARQ is off or the
+  /// budget is exhausted. A verified message acks (releases) the retained
+  /// payload. `what` names the operation (recv / collective).
+  void verify_envelope(Message& m, const char* what);
+  /// True when the link-level ARQ layer is active (integrity + arq.enabled).
+  bool arq_active() const noexcept;
   /// Stamp (and possibly corrupt, under injection) a reference-backend shared
   /// buffer this rank just wrote; the seal travels through the World.
   void seal_shared(std::vector<std::byte>& buf, Seal& seal);

@@ -23,6 +23,9 @@ bool is_slow_rank(const InjectConfig& cfg, int rank) {
 
 bool is_kill_rank(const InjectConfig& cfg, int rank) {
   if (!cfg.kill_enabled()) return false;
+  for (const int r : cfg.kill_exempt) {
+    if (r == rank) return false;
+  }
   return mix64(cfg.seed ^ 0x6b110000ULL ^ static_cast<std::uint64_t>(rank)) %
              static_cast<std::uint64_t>(cfg.kill_rank_stride) ==
          0;

@@ -41,6 +41,19 @@ struct InjectConfig {
   /// Comm operation count (sends, recvs, collectives) after which a victim
   /// rank fails; 0 disables rank-kill even when a stride is set.
   std::uint64_t kill_after_ops = 0;
+  /// When true a victim rank dies *silently* — it simply stops participating
+  /// (no RankFailure thrown, no world poisoning, no diagnostic) — modelling a
+  /// node that drops off the network. Only the heartbeat failure detector
+  /// (RunOptions::heartbeat_timeout_s) or the recv/barrier timeouts can turn
+  /// such a death into a diagnosed fault; par::run asserts one of them is
+  /// armed so a silent kill cannot become a silent hang.
+  bool kill_silent = false;
+  /// Ranks exempted from rank-kill selection. resil::supervise appends the
+  /// victim of a shrink/spare repair here: the failed node has been replaced
+  /// or excluded, so its deterministic kill must not fire again (the
+  /// rank-kill analogue of clear_kill_on_retry, but per-victim instead of
+  /// global — later victims still die, enabling back-to-back failure tests).
+  std::vector<int> kill_exempt;
   /// Every stride-th in-flight message (selected by seeded hash of
   /// (seed, src, dst, seq), the delay stream's coordinates) has its payload
   /// corrupted — bit-flip, tail truncation, or byte duplication, the kind

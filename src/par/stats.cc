@@ -1,8 +1,59 @@
 #include "par/stats.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace esamr::par {
+
+namespace {
+
+// Process-wide ARQ counters (BufferStats pattern): relaxed atomics, heal
+// latency accumulated via CAS so the double stays exact under concurrency.
+std::atomic<std::int64_t> g_arq_retained{0};
+std::atomic<std::int64_t> g_arq_acked{0};
+std::atomic<std::int64_t> g_arq_retransmits{0};
+std::atomic<std::int64_t> g_arq_healed{0};
+std::atomic<std::int64_t> g_arq_escalated{0};
+std::atomic<double> g_arq_heal_s{0.0};
+
+}  // namespace
+
+ArqStats arq_stats() {
+  ArqStats s;
+  s.retained = g_arq_retained.load(std::memory_order_relaxed);
+  s.acked = g_arq_acked.load(std::memory_order_relaxed);
+  s.retransmits = g_arq_retransmits.load(std::memory_order_relaxed);
+  s.healed = g_arq_healed.load(std::memory_order_relaxed);
+  s.escalated = g_arq_escalated.load(std::memory_order_relaxed);
+  s.heal_s = g_arq_heal_s.load(std::memory_order_relaxed);
+  return s;
+}
+
+void arq_stats_reset() {
+  g_arq_retained.store(0, std::memory_order_relaxed);
+  g_arq_acked.store(0, std::memory_order_relaxed);
+  g_arq_retransmits.store(0, std::memory_order_relaxed);
+  g_arq_healed.store(0, std::memory_order_relaxed);
+  g_arq_escalated.store(0, std::memory_order_relaxed);
+  g_arq_heal_s.store(0.0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void arq_note_retained() { g_arq_retained.fetch_add(1, std::memory_order_relaxed); }
+void arq_note_acked() { g_arq_acked.fetch_add(1, std::memory_order_relaxed); }
+void arq_note_retransmit() { g_arq_retransmits.fetch_add(1, std::memory_order_relaxed); }
+
+void arq_note_healed(double heal_s) {
+  g_arq_healed.fetch_add(1, std::memory_order_relaxed);
+  double cur = g_arq_heal_s.load(std::memory_order_relaxed);
+  while (!g_arq_heal_s.compare_exchange_weak(cur, cur + heal_s, std::memory_order_relaxed)) {
+  }
+}
+
+void arq_note_escalated() { g_arq_escalated.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace detail
 
 const char* coll_name(Coll k) {
   switch (k) {
@@ -36,6 +87,9 @@ CommStats& CommStats::operator+=(const CommStats& o) {
   }
   corrupt_detected += o.corrupt_detected;
   bytes_verified += o.bytes_verified;
+  retransmits += o.retransmits;
+  arq_healed += o.arq_healed;
+  arq_escalations += o.arq_escalations;
   recv_blocked_s += o.recv_blocked_s;
   barrier_blocked_s += o.barrier_blocked_s;
   return *this;
@@ -58,6 +112,9 @@ CommStats& CommStats::operator-=(const CommStats& o) {
   }
   corrupt_detected -= o.corrupt_detected;
   bytes_verified -= o.bytes_verified;
+  retransmits -= o.retransmits;
+  arq_healed -= o.arq_healed;
+  arq_escalations -= o.arq_escalations;
   recv_blocked_s -= o.recv_blocked_s;
   barrier_blocked_s -= o.barrier_blocked_s;
   return *this;
@@ -91,6 +148,12 @@ std::string summary(const CommStats& s) {
                 static_cast<long long>(s.bytes_verified),
                 static_cast<long long>(s.corrupt_detected));
   out += line;
+  if (s.retransmits != 0 || s.arq_healed != 0 || s.arq_escalations != 0) {
+    std::snprintf(line, sizeof(line), "arq: %lld retransmits, %lld healed, %lld escalated\n",
+                  static_cast<long long>(s.retransmits), static_cast<long long>(s.arq_healed),
+                  static_cast<long long>(s.arq_escalations));
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "blocked: %.3f s in recv, %.3f s in barrier\n",
                 s.recv_blocked_s, s.barrier_blocked_s);
   out += line;

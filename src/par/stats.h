@@ -65,9 +65,20 @@ struct CommStats {
   // Message-integrity layer (CRC32C envelopes; see DESIGN.md "Fault model").
   // bytes_verified counts payload bytes whose envelope CRC was recomputed at
   // the receiver; corrupt_detected counts envelopes that failed verification
-  // (each such failure also raised CorruptMessage).
+  // (when link-level ARQ is off, each such failure also raised CorruptMessage;
+  // with ARQ on, failed retransmission draws count here too).
   std::int64_t corrupt_detected = 0;
   std::int64_t bytes_verified = 0;
+
+  // Link-level ARQ (the cheapest rung of the recovery ladder; see DESIGN.md
+  // "Recovery ladder"). retransmits counts retransmission requests this rank
+  // issued as a receiver; arq_healed counts corrupt envelopes repaired from
+  // the sender's retained payload without escalating; arq_escalations counts
+  // corruptions that exhausted the retransmission budget and escalated to
+  // CorruptMessage (the supervisor layer).
+  std::int64_t retransmits = 0;
+  std::int64_t arq_healed = 0;
+  std::int64_t arq_escalations = 0;
 
   // Wall time this rank spent blocked (includes blocking inside collectives).
   double recv_blocked_s = 0.0;
@@ -89,5 +100,31 @@ struct CommStatsSnapshot {
 
 /// Multi-line human-readable summary (used by the bench drivers).
 std::string summary(const CommStats& s);
+
+/// Process-wide counters for the link-level ARQ layer, following the
+/// BufferStats pattern (par/buffer.h): atomics aggregated across every World
+/// so resil::supervise and the benches can observe link-layer heals that, by
+/// design, never surface as exceptions out of par::run.
+struct ArqStats {
+  std::int64_t retained = 0;     ///< sealed payloads retained for retransmission
+  std::int64_t acked = 0;        ///< retained payloads released by a verified recv
+  std::int64_t retransmits = 0;  ///< retransmission requests served
+  std::int64_t healed = 0;       ///< corrupt envelopes repaired at the link layer
+  std::int64_t escalated = 0;    ///< corruptions that exhausted the ARQ budget
+  double heal_s = 0.0;           ///< total detect-to-heal latency over `healed`
+};
+
+/// Snapshot of the process-wide ARQ counters.
+ArqStats arq_stats();
+/// Reset the process-wide ARQ counters (bench/test phase boundaries).
+void arq_stats_reset();
+
+namespace detail {
+void arq_note_retained();
+void arq_note_acked();
+void arq_note_retransmit();
+void arq_note_healed(double heal_s);
+void arq_note_escalated();
+}  // namespace detail
 
 }  // namespace esamr::par

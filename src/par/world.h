@@ -5,9 +5,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "par/check.h"
 #include "par/comm.h"
@@ -18,6 +21,13 @@ namespace detail {
 /// Thrown inside peer ranks when some rank failed; unwinds them without
 /// recording a second error.
 struct WorldPoisoned {};
+
+/// Thrown by a rank dying silently (InjectConfig::kill_silent): the run()
+/// thread body swallows it without recording an error, poisoning the world,
+/// or marking the rank done — the rank just vanishes, exactly like a node
+/// dropping off the network. Only the heartbeat detector (or a recv/barrier
+/// timeout) can name the resulting failure.
+struct SilentDeath {};
 }  // namespace detail
 
 class World {
@@ -26,11 +36,17 @@ class World {
       : size(n), opts(std::move(options)), mail(static_cast<std::size_t>(n)),
         coll_mail(static_cast<std::size_t>(n)), slots(static_cast<std::size_t>(n)),
         slot_seals(static_cast<std::size_t>(n)), a2a(static_cast<std::size_t>(n)),
-        a2a_seals(static_cast<std::size_t>(n)), stats(static_cast<std::size_t>(n)) {
+        a2a_seals(static_cast<std::size_t>(n)), stats(static_cast<std::size_t>(n)),
+        retain(static_cast<std::size_t>(n)), hb_last(static_cast<std::size_t>(n)),
+        hb_done(static_cast<std::size_t>(n)) {
     for (auto& m : mail) m = std::make_unique<Mailbox>(n);
     for (auto& m : coll_mail) m = std::make_unique<Mailbox>(n);
     for (auto& row : a2a) row.resize(static_cast<std::size_t>(n));
     for (auto& row : a2a_seals) row.resize(static_cast<std::size_t>(n));
+    for (auto& box : retain) box = std::make_unique<RetainBox>();
+    const double now = wall_seconds();
+    for (auto& t : hb_last) t.store(now, std::memory_order_relaxed);
+    for (auto& d : hb_done) d.store(false, std::memory_order_relaxed);
     if (const int level = check::effective_level(opts.check); level > 0) {
       checker = std::make_unique<check::Checker>(n, level);
     }
@@ -47,11 +63,51 @@ class World {
     std::vector<double> last_visible;
   };
 
+  /// A sender-retained clean payload awaiting the receiver's integrity ack
+  /// (link-level ARQ; see ArqConfig). `payload` is a zero-copy reference to
+  /// the exact sealed buffer — retaining it costs one refcount, not a copy.
+  struct RetainEntry {
+    Buffer payload;
+    Seal seal;
+  };
+
+  /// Per-destination retention store, keyed by (source, seq). seq is the
+  /// per-(src, dst) post counter shared by the user and collective planes, so
+  /// the key is unique per destination. The receiver is the only reader; the
+  /// senders to this destination are the writers.
+  struct RetainBox {
+    std::mutex m;
+    std::map<std::pair<int, std::uint64_t>, RetainEntry> entries;
+  };
+
   /// The barrier primitive shared by Comm::barrier and the reference
   /// collectives. Throws TimeoutError (naming `rank` and the arrival count)
   /// when opts.barrier_timeout_s expires. `site` is the user call site for
   /// the checker's deadlock diagnostics.
   void barrier_wait(int rank, check::Site site = {});
+
+  /// Heartbeat failure detection (RunOptions::heartbeat_timeout_s).
+  bool hb_armed() const { return opts.heartbeat_timeout_s > 0.0; }
+  /// Stamp `rank` alive now. Called from every comm operation and every
+  /// slice of a blocked wait; no-op when the detector is disarmed.
+  void hb_beat(int rank) {
+    if (hb_armed()) {
+      hb_last[static_cast<std::size_t>(rank)].store(wall_seconds(), std::memory_order_relaxed);
+    }
+  }
+  /// Mark `rank` cleanly finished (returned from its SPMD function or thrown
+  /// a recorded error): it will never beat again and must not be declared
+  /// dead. Silent deaths deliberately skip this.
+  void hb_mark_done(int rank) {
+    if (hb_armed()) hb_done[static_cast<std::size_t>(rank)].store(true, std::memory_order_relaxed);
+  }
+  /// Scan for a peer silent past the timeout window. Called by `rank` from
+  /// inside a sliced blocked wait; `what` names the wait (recv / barrier /
+  /// a collective) and `site` is the detector's user call site. Throws a
+  /// detected-by-peer RankFailure naming the dead rank, routed through the
+  /// same per-rank error channel as injected failures. Implemented in
+  /// comm.cc.
+  void hb_check(int rank, const char* what, check::Site site);
 
   /// Mark the section failed and wake every blocked rank so it can unwind.
   void poison() {
@@ -79,6 +135,9 @@ class World {
   std::vector<std::byte> bvec;                           ///< reference bcast
   Seal bvec_seal;                                        ///< integrity seal for bvec
   std::vector<CommStats> stats;                          ///< per rank
+  std::vector<std::unique_ptr<RetainBox>> retain;        ///< ARQ retention, per dest
+  std::vector<std::atomic<double>> hb_last;              ///< last heartbeat, per rank
+  std::vector<std::atomic<bool>> hb_done;                ///< cleanly finished, per rank
   std::unique_ptr<check::Checker> checker;               ///< null = checking off
   std::atomic<bool> poisoned{false};
 

@@ -1,17 +1,25 @@
 #include "resil/supervisor.h"
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
-#include <thread>
 
+#include "par/backoff.h"
 #include "par/inject.h"
+#include "par/stats.h"
 #include "resil/checkpoint.h"
 
 namespace esamr::resil {
 
+const char* recovery_mode_name(RecoveryMode m) {
+  switch (m) {
+    case RecoveryMode::full_restart: return "full_restart";
+    case RecoveryMode::shrink: return "shrink";
+    case RecoveryMode::spare: return "spare";
+  }
+  return "?";
+}
+
 std::string RecoveryStats::summary() const {
-  char buf[224];
+  char buf[288];
   std::snprintf(buf, sizeof(buf),
                 "attempts=%d failures=%d corrupt_msgs=%d bytes_reread=%lld steps_replayed=%llu "
                 "backoff_s=%.3f jitter=[%.4f, %.4f]",
@@ -19,6 +27,17 @@ std::string RecoveryStats::summary() const {
                 static_cast<unsigned long long>(steps_replayed), backoff_s, backoff_min_s,
                 backoff_max_s);
   std::string out = buf;
+  if (healed_link != 0 || healed_spare != 0 || healed_shrink != 0 || healed_restart != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nladder: link=%d spare=%d shrink=%d restart=%d ranks_final=%d",
+                  healed_link, healed_spare, healed_shrink, healed_restart, ranks_final);
+    out += buf;
+  }
+  if (repairs != 0) {
+    std::snprintf(buf, sizeof(buf), "\nmttr=%.4f s over %d repair(s), detect_s=%.4f", mttr_s(),
+                  repairs, detect_s);
+    out += buf;
+  }
   for (const std::string& f : failure_log) out += "\n  fault: " + f;
   return out;
 }
@@ -32,53 +51,95 @@ enum class Fault { rank_failure, timeout, corrupt_msg, corrupt_ckpt };
 RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOptions& sopts,
                         CheckpointRing* ring, const SupervisedBody& body) {
   RecoveryStats stats;
-  double backoff = sopts.backoff_initial_s;
+  // Process-wide ARQ baseline: link-layer heals never surface as exceptions,
+  // so they are observed as a counter delta across this supervised run.
+  const std::int64_t arq_healed0 = par::arq_stats().healed;
+  // The jittered-exponential restart schedule (one draw per caught fault) —
+  // the same stream the pre-refactor inline formula produced, now drawn from
+  // the shared seeded-backoff helper.
+  par::SeededBackoff backoff(
+      par::BackoffPolicy{sopts.backoff_initial_s, sopts.backoff_factor, sopts.backoff_cap_s,
+                         sopts.backoff_jitter},
+      opts.inject.seed ^ 0xbac0ffULL);
+  int world_size = nranks;
+  int spares_left = sopts.policy.spares;
+  double fault_wall = 0.0;  // wall time of the currently-unrepaired fault
+
   for (int attempt = 0;; ++attempt) {
     RecoveryContext ctx(attempt);
 
+    // Close the previous fault's repair interval at this attempt's first
+    // successful restore (the world was computing again from that moment).
+    const auto settle_mttr = [&] {
+      const double restored = ctx.first_restore_wall();
+      if (fault_wall > 0.0 && restored > fault_wall) {
+        stats.repair_s += restored - fault_wall;
+        ++stats.repairs;
+        fault_wall = 0.0;
+      }
+    };
+
     // Account a caught fault; returns false when retries are exhausted (the
     // caller then rethrows the original exception via bare `throw`).
-    const auto on_fault = [&](Fault fault, const char* what) {
+    // `victim` >= 0 carries a RankFailure's failed rank for the policy ladder.
+    const auto on_fault = [&](Fault fault, const char* what, int victim = -1) {
+      settle_mttr();
+      fault_wall = par::wall_seconds();
       ++stats.failures;
       if (fault == Fault::corrupt_msg) ++stats.corrupt_msgs;
       stats.bytes_reread += ctx.bytes_reread();
       stats.steps_replayed += ctx.steps_done();  // this attempt's work is discarded
       stats.failure_log.emplace_back(what);
       if (attempt >= sopts.max_retries) return false;
-      if (fault == Fault::rank_failure && sopts.clear_kill_on_retry) {
-        opts.inject.kill_after_ops = 0;  // one-shot node failure model
+      if (fault == Fault::rank_failure) {
+        // The repair ladder: substitute a spare (size unchanged), else re-form
+        // a smaller world in place, else fall back to a full restart. In-place
+        // repairs exempt the victim from further kill selection — the failed
+        // node is gone; its deterministic kill must not re-fire.
+        const RecoveryMode mode = sopts.policy.on_rank_failure;
+        if (mode == RecoveryMode::spare && spares_left > 0) {
+          --spares_left;
+          opts.inject.kill_exempt.push_back(victim);
+          ++stats.healed_spare;
+        } else if (mode != RecoveryMode::full_restart && world_size > sopts.policy.min_ranks) {
+          --world_size;
+          opts.inject.kill_exempt.push_back(victim);
+          ++stats.healed_shrink;
+        } else {
+          if (sopts.clear_kill_on_retry) {
+            opts.inject.kill_after_ops = 0;  // one-shot node failure model
+          }
+          ++stats.healed_restart;
+        }
+      } else {
+        ++stats.healed_restart;
       }
       if (fault == Fault::corrupt_msg && sopts.clear_corrupt_on_retry) {
         opts.inject.corrupt_msg_stride = 0;  // transient link fault model
       }
       if (fault == Fault::corrupt_ckpt && ring != nullptr) ring->quarantine_newest();
-      if (backoff > 0.0) {
-        // Seeded jitter: u in [-1, 1) from (inject seed, attempt), so the
-        // sleep sequence is reproducible per seed yet decorrelated across
-        // seeds. unit_hash is the same primitive the injectors use.
-        const double u =
-            2.0 * par::detail::unit_hash(opts.inject.seed ^ 0xbac0ffULL,
-                                         static_cast<std::uint64_t>(attempt), 0) -
-            1.0;
-        const double sleep_s = backoff * (1.0 + sopts.backoff_jitter * u);
-        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      const double sleep_s = backoff.sleep();
+      if (sleep_s > 0.0) {
         stats.backoff_s += sleep_s;
         if (stats.backoff_min_s == 0.0 || sleep_s < stats.backoff_min_s) {
           stats.backoff_min_s = sleep_s;
         }
         if (sleep_s > stats.backoff_max_s) stats.backoff_max_s = sleep_s;
-        backoff = std::min(backoff * sopts.backoff_factor, sopts.backoff_max_s);
       }
       return true;
     };
 
     ++stats.attempts;
     try {
-      par::run(nranks, opts, [&](par::Comm& c) { body(c, ctx); });
+      par::run(world_size, opts, [&](par::Comm& c) { body(c, ctx); });
+      settle_mttr();
       stats.bytes_reread += ctx.bytes_reread();
+      stats.ranks_final = world_size;
+      stats.healed_link = static_cast<int>(par::arq_stats().healed - arq_healed0);
       return stats;
     } catch (const par::RankFailure& e) {
-      if (!on_fault(Fault::rank_failure, e.what())) throw;
+      stats.detect_s += e.silent_s();
+      if (!on_fault(Fault::rank_failure, e.what(), e.rank())) throw;
     } catch (const par::TimeoutError& e) {
       if (!on_fault(Fault::timeout, e.what())) throw;
     } catch (const par::CorruptMessage& e) {

@@ -26,6 +26,17 @@
 //
 // Any other exception is a bug, not a fault, and is rethrown immediately.
 //
+// Graded recovery ladder (ISSUE 7): the supervisor is the *top* rung only.
+// Corrupt messages are first retried at the link layer (par::ArqConfig) and
+// reach this loop only after the retransmission budget is exhausted; silent
+// rank deaths are named by the heartbeat detector
+// (par::RunOptions::heartbeat_timeout_s) and arrive here as RankFailure like
+// injected kills. Confirmed rank failures are then repaired per
+// RecoveryPolicy: substitute a pre-allocated spare (world size unchanged),
+// re-form a smaller (P-1)-rank world in place, or fall back to the classic
+// full restart — each retry restores the newest snapshot elastically, so a
+// checkpoint written at P resumes bit-identically at P-1.
+//
 // Async runtime interaction: a fault can strike a rank with nonblocking
 // requests still pending. Unwinding the rank destroys the Request handles,
 // which drains them — each isend's payload reference is handed back to the
@@ -54,6 +65,32 @@ namespace esamr::resil {
 
 class CheckpointRing;
 
+/// How the supervisor repairs a confirmed rank failure (the top rung of the
+/// recovery ladder; the two cheaper rungs — link-level ARQ and heartbeat
+/// detection — live in par and need no supervisor involvement to *heal*,
+/// only to be observed). Escalation order on a rank failure:
+///   spare -> shrink -> full_restart
+/// i.e. `spare` falls back to shrinking when the spare pool is empty, and
+/// `shrink` falls back to a full restart at the floor world size.
+enum class RecoveryMode { full_restart, shrink, spare };
+
+const char* recovery_mode_name(RecoveryMode m);
+
+/// Rank-failure repair policy (see RecoveryMode). In-place repairs (shrink /
+/// spare) exempt the victim's rank from further kill selection
+/// (par::InjectConfig::kill_exempt): the failed node has been excluded or
+/// replaced by a fresh one, so its deterministic kill must not re-fire —
+/// while later victims still die, so back-to-back failures stay testable.
+struct RecoveryPolicy {
+  RecoveryMode on_rank_failure = RecoveryMode::full_restart;
+  /// Pre-allocated spare ranks available for RecoveryMode::spare. Each
+  /// consumed spare keeps the world size unchanged.
+  int spares = 0;
+  /// Smallest world RecoveryMode::shrink may re-form; at the floor, a rank
+  /// failure escalates to a full restart.
+  int min_ranks = 1;
+};
+
 /// What a supervised run cost in recovery terms.
 struct RecoveryStats {
   int attempts = 0;            ///< par::run launches (>= 1)
@@ -64,6 +101,26 @@ struct RecoveryStats {
   double backoff_s = 0.0;            ///< total time slept between attempts
   double backoff_min_s = 0.0;        ///< shortest jittered sleep taken (0 = none)
   double backoff_max_s = 0.0;        ///< longest jittered sleep taken (0 = none)
+
+  // Recovery-ladder observability: how many faults each layer healed.
+  int healed_link = 0;     ///< corrupt messages repaired by ARQ (never surfaced)
+  int healed_spare = 0;    ///< rank failures repaired by consuming a spare
+  int healed_shrink = 0;   ///< rank failures repaired by shrinking the world
+  int healed_restart = 0;  ///< faults healed by a full restart-and-replay
+  /// World size the run finished at (nranks minus successful shrinks).
+  int ranks_final = 0;
+
+  // Mean-time-to-repair accounting. A repair interval runs from catching a
+  // fault to the next attempt's first successful snapshot restore (the world
+  // is computing again); detect_s separately accumulates how long heartbeat
+  // victims were silent before a peer named them (0 for self-thrown faults).
+  int repairs = 0;        ///< completed fault -> restored intervals
+  double repair_s = 0.0;  ///< total wall time across those intervals
+  double detect_s = 0.0;  ///< total silent-before-detection time
+  /// Mean time to repair at the supervisor layer (link-layer heals are
+  /// process-wide: see par::arq_stats().heal_s / healed).
+  double mttr_s() const { return repairs > 0 ? repair_s / repairs : 0.0; }
+
   std::vector<std::string> failure_log;  ///< one message per caught fault
 
   std::string summary() const;
@@ -74,20 +131,28 @@ struct SupervisorOptions {
   int max_retries = 3;
   double backoff_initial_s = 0.01;
   double backoff_factor = 2.0;
-  double backoff_max_s = 1.0;
+  /// Nominal backoff ceiling (the cap the exponential schedule saturates at;
+  /// the *realised* longest sleep is RecoveryStats::backoff_max_s).
+  double backoff_cap_s = 1.0;
   /// Fractional jitter applied to each backoff sleep: the actual sleep is
   /// backoff * (1 + jitter * u) with u drawn deterministically from
   /// (inject seed, attempt) in [-1, 1). 0 disables jitter. Jitter decorrelates
   /// retry storms across concurrent supervisors while staying reproducible;
   /// the realised bounds are recorded in RecoveryStats::backoff_{min,max}_s.
+  /// The schedule is drawn from par::SeededBackoff with key inject.seed ^
+  /// 0xbac0ff, one draw per caught fault.
   double backoff_jitter = 0.5;
   /// Treat injected rank-kill as a one-shot node failure: the retry runs with
   /// kill_after_ops = 0 so the same deterministic kill cannot fire again.
+  /// Only consulted on the full-restart path; shrink/spare repairs exempt the
+  /// victim instead (see RecoveryPolicy).
   bool clear_kill_on_retry = true;
   /// Treat a detected message corruption as a transient link fault: the retry
   /// runs with corrupt_msg_stride = 0 so the same deterministic payload fault
   /// cannot fire again (mirrors clear_kill_on_retry).
   bool clear_corrupt_on_retry = true;
+  /// How rank failures are repaired (full restart / in-place shrink / spare).
+  RecoveryPolicy policy{};
 };
 
 /// Per-attempt reporting channel between the SPMD body and the supervisor.
@@ -100,20 +165,28 @@ class RecoveryContext {
   /// 0 for the first attempt, incremented per retry.
   int attempt() const { return attempt_; }
 
-  /// Rank 0: a checkpoint restore read `bytes` from disk.
+  /// Rank 0: a checkpoint restore read `bytes` from disk. The first restore
+  /// of an attempt also timestamps "the world is computing again", closing
+  /// the supervisor's fault -> restored repair interval (MTTR).
   void record_restore(std::int64_t bytes) {
     bytes_reread_.fetch_add(bytes, std::memory_order_relaxed);
+    double expect = 0.0;
+    restore_wall_.compare_exchange_strong(expect, par::wall_seconds(),
+                                          std::memory_order_relaxed);
   }
   /// Rank 0: one application step completed in this attempt.
   void note_step() { steps_.fetch_add(1, std::memory_order_relaxed); }
 
   std::int64_t bytes_reread() const { return bytes_reread_.load(std::memory_order_relaxed); }
   std::uint64_t steps_done() const { return steps_.load(std::memory_order_relaxed); }
+  /// Wall time (par::wall_seconds) of this attempt's first restore; 0 = none.
+  double first_restore_wall() const { return restore_wall_.load(std::memory_order_relaxed); }
 
  private:
   int attempt_;
   std::atomic<std::int64_t> bytes_reread_{0};
   std::atomic<std::uint64_t> steps_{0};
+  std::atomic<double> restore_wall_{0.0};
 };
 
 using SupervisedBody = std::function<void(par::Comm&, RecoveryContext&)>;

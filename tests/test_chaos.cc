@@ -41,6 +41,7 @@
 #include "forest/forest.h"
 #include "par/check.h"
 #include "par/comm.h"
+#include "par/inject.h"
 #include "resil/checkpoint.h"
 #include "resil/crc32c.h"
 #include "resil/supervisor.h"
@@ -191,6 +192,7 @@ struct FaultClass {
   const char* name;
   void (*arm)(par::InjectConfig&);
   bool async_steps = false;  ///< run the step through the nonblocking runtime
+  double heartbeat_s = 0.0;  ///< arm the heartbeat failure detector (0 = off)
 };
 
 const FaultClass fault_classes[] = {
@@ -237,6 +239,11 @@ Outcome chaos_run(int p, const FaultClass& fc, std::uint64_t seed, const Connect
   opts.barrier_timeout_s = 20.0;
   opts.inject.seed = seed;
   fc.arm(opts.inject);
+  // This campaign exercises the *supervisor* rung of the recovery ladder:
+  // with link-level ARQ armed, in-flight corruption would be healed below
+  // the supervisor and the corrupt_msg cells would never escalate. The
+  // policy-matrix test below runs with the full ladder on.
+  opts.arq.enabled = false;
 
   resil::SupervisorOptions sopt;
   sopt.max_retries = 4;
@@ -297,6 +304,8 @@ TEST(Chaos, CampaignTerminatesWithoutHangsOrSilentWrongAnswers) {
   // Elasticity note: the digest is over *global* bits, yet it legitimately
   // depends on P because the ring exchange mixes per-rank partial sums. The
   // contract is per-P bit-reproducibility, which is what the campaign checks.
+  // (The policy matrix below uses a P-invariant integer workload instead, so
+  // in-place shrink repairs can be checked against one cross-P baseline.)
 
   std::map<Outcome, int> tally;
   std::map<std::string, std::map<Outcome, int>> by_class;
@@ -367,4 +376,231 @@ TEST(Chaos, CellsAreDeterministic) {
     const Outcome o2 = chaos_run(p, fc, 777, conn, cid, baseline, &d2);
     EXPECT_EQ(o1, o2) << fc.name << ": " << d1 << " vs " << d2;
   }
+}
+
+// --- Recovery-ladder policy matrix (ISSUE 7) --------------------------------
+//
+// The campaign above pins every fault to the supervisor (ARQ off). This
+// matrix arms the WHOLE ladder — link-level retransmission, heartbeat
+// detection, and a per-cell rank-failure repair policy — and sweeps
+// policy x fault class x world size, asserting that every cell terminates
+// with the P-invariant baseline digest and zero aborts, and that each
+// ladder layer actually healed something somewhere in the matrix.
+
+namespace {
+
+/// P-invariant supervised workload (u64 state advanced from global
+/// quantities only): each rank sums a hash over its local octants,
+/// circulates partials around the ring (blocking variant cross-checks the
+/// circulated total against the allreduce exactly), and folds the global
+/// sum into the state. Checkpointed every step, restored elastically — the
+/// final digest is independent of the world size, so a run repaired by
+/// shrinking must still match the fault-free baseline bit for bit.
+std::uint64_t u64_body(par::Comm& c, resil::RecoveryContext& ctx, const Connectivity<2>& conn,
+                       std::uint64_t cid, const std::string& ring_dir, bool async_steps) {
+  resil::CheckpointRing ring(ring_dir, 2);
+  auto f = make_forest(c, conn);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  int k0 = 0;
+  int have = 0;
+  if (c.rank() == 0) have = ring.entries().empty() ? 0 : 1;
+  have = c.bcast(have, 0);
+  if (have != 0) {
+    auto r = resil::restore_latest<2>(c, conn, cid, ring);
+    if (c.rank() == 0) ctx.record_restore(r.bytes_read);
+    k0 = static_cast<int>(r.step) + 1;
+    EXPECT_EQ(r.forest.checksum(), f.checksum()) << "static mesh, any partition";
+    const std::uint64_t lo = static_cast<std::uint64_t>(r.fields.at(0).data.at(0));
+    const std::uint64_t hi = static_cast<std::uint64_t>(r.fields.at(0).data.at(1));
+    state = (hi << 32) | lo;
+  }
+  const int next = (c.rank() + 1) % c.size();
+  const int prev = (c.rank() + c.size() - 1) % c.size();
+  for (int k = k0; k < n_steps; ++k) {
+    std::uint64_t local = 0;
+    f.for_each_local([&](int t, const Octant<2>& o) {
+      local += par::detail::mix64(state ^ (static_cast<std::uint64_t>(t) << 48) ^
+                                  (static_cast<std::uint64_t>(o.x) << 28) ^
+                                  (static_cast<std::uint64_t>(o.y) << 8) ^
+                                  static_cast<std::uint64_t>(o.level));
+    });
+    std::uint64_t glob = 0;
+    if (async_steps) {
+      // Nonblocking variant: the p2p hop is pure (CRC-protected, ARQ-healed)
+      // traffic so faults strike with requests pending; only the allreduce
+      // result — P-invariant — feeds the state.
+      par::Request rr = c.irecv(prev, /*tag=*/13);
+      par::Request rs = c.isend(next, 13, std::vector<std::uint64_t>{local});
+      par::Request ra = c.iallreduce(local, par::ReduceOp::sum);
+      rr.wait();
+      (void)rr.message().view<std::uint64_t>()[0];
+      ra.wait();
+      glob = ra.result<std::uint64_t>();
+      rs.wait();
+    } else {
+      std::uint64_t acc = local, pass = local;
+      for (int h = 0; h < c.size() - 1; ++h) {
+        c.send_value(next, 13, pass);
+        pass = c.recv(prev, 13).value<std::uint64_t>();
+        acc += pass;
+      }
+      glob = c.allreduce(local, par::ReduceOp::sum);
+      EXPECT_EQ(acc, glob);  // ring circulation and allreduce agree exactly
+    }
+    state = par::detail::mix64(state ^ glob ^ static_cast<std::uint64_t>(k));
+    resil::NamedField fld{"state", 2, {}};
+    f.for_each_local([&](int, const Octant<2>&) {
+      fld.data.push_back(static_cast<double>(state & 0xffffffffULL));
+      fld.data.push_back(static_cast<double>(state >> 32));
+    });
+    resil::write_checkpoint_ring(f, cid, static_cast<std::uint64_t>(k), {fld}, ring);
+    if (c.rank() == 0) ctx.note_step();
+  }
+  return par::detail::mix64(state) ^ f.checksum();
+}
+
+/// Silent rank death: the victim simply stops responding (no self-thrown
+/// RankFailure) and only the heartbeat detector can name it.
+const FaultClass silent_death{"silent_death",
+                              [](par::InjectConfig& i) {
+                                i.kill_rank_stride = 2;
+                                i.kill_after_ops = 25;
+                                i.kill_silent = true;
+                              },
+                              /*async_steps=*/false,
+                              /*heartbeat_s=*/0.5};
+
+/// One policy-matrix cell: full ladder armed (ARQ on by default, heartbeat
+/// per class, repair policy per mode), spares=1 so `spare` exercises its
+/// fallback when a second failure lands.
+Outcome ladder_run(int p, resil::RecoveryMode mode, const FaultClass& fc, std::uint64_t seed,
+                   const Connectivity<2>& conn, std::uint64_t cid, std::uint64_t baseline,
+                   resil::RecoveryStats* stats_out, std::string* diag) {
+  par::RunOptions opts;
+  opts.recv_timeout_s = 20.0;
+  opts.barrier_timeout_s = 20.0;
+  opts.heartbeat_timeout_s = fc.heartbeat_s;
+  opts.inject.seed = seed;
+  fc.arm(opts.inject);
+
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 10;  // worst case every rank of a shrinking world dies
+  sopt.backoff_initial_s = 0.0;
+  sopt.policy.on_rank_failure = mode;
+  sopt.policy.spares = 1;
+  sopt.policy.min_ranks = 1;
+
+  const std::string dir = test_dir(std::string("ladder_") + resil::recovery_mode_name(mode) +
+                                   "_" + fc.name + "_p" + std::to_string(p));
+  std::uint64_t digest = 0;
+  try {
+    const auto stats = resil::supervise(
+        p, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
+          const auto d = u64_body(c, ctx, conn, cid, dir, fc.async_steps);
+          if (c.rank() == 0) digest = d;
+        });
+    EXPECT_EQ(digest, baseline) << "SILENT WRONG ANSWER: mode=" << recovery_mode_name(mode)
+                                << " class=" << fc.name << " P=" << p << " "
+                                << stats.summary();
+    *stats_out = stats;
+    *diag = stats.summary();
+    return stats.failures == 0 ? Outcome::success : Outcome::recovered;
+  } catch (const par::RankFailure& e) {
+    *diag = e.what();
+  } catch (const par::TimeoutError& e) {
+    *diag = e.what();
+  } catch (const par::CorruptMessage& e) {
+    *diag = e.what();
+  } catch (const resil::CheckpointCorrupt& e) {
+    *diag = e.what();
+  } catch (const par::check::CheckError& e) {
+    EXPECT_EQ(e.kind(), par::check::Violation::deadlock)
+        << "mode=" << recovery_mode_name(mode) << " class=" << fc.name << " P=" << p << ": "
+        << e.what();
+    *diag = e.what();
+  }
+  EXPECT_FALSE(diag->empty());
+  return Outcome::aborted;
+}
+
+}  // namespace
+
+// 3 repair policies x 7 fault classes x P in {2, 4, 8}: every cell must
+// terminate bit-identically to the (single, cross-P) baseline with zero
+// aborts, and every ladder layer must have healed at least one fault
+// somewhere in the matrix.
+TEST(Chaos, PolicyMatrixHealsEveryClassAtTheCheapestLayer) {
+  const auto conn = Connectivity<2>::brick({2, 1}, {false, false});
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const int ranks[] = {2, 4, 8};
+  constexpr std::uint64_t seed = 909;
+
+  // One fault-free baseline; the workload digest must be P-invariant (that
+  // is the property in-place shrink repairs rely on).
+  std::uint64_t baseline = 0;
+  for (const int p : ranks) {
+    std::uint64_t digest = 0;
+    const std::string dir = test_dir("ladder_baseline_p" + std::to_string(p));
+    par::run(p, [&](par::Comm& c) {
+      resil::RecoveryContext ctx(0);
+      const auto d = u64_body(c, ctx, conn, cid, dir, /*async_steps=*/false);
+      if (c.rank() == 0) digest = d;
+    });
+    ASSERT_NE(digest, 0u) << "P=" << p;
+    if (baseline == 0) {
+      baseline = digest;
+    } else {
+      ASSERT_EQ(digest, baseline) << "u64 workload digest must be P-invariant (P=" << p << ")";
+    }
+  }
+
+  std::vector<FaultClass> classes(std::begin(fault_classes), std::end(fault_classes));
+  classes.push_back(silent_death);
+  const resil::RecoveryMode modes[] = {resil::RecoveryMode::full_restart,
+                                       resil::RecoveryMode::shrink, resil::RecoveryMode::spare};
+
+  // Per-layer heal totals across the matrix.
+  std::int64_t link = 0;
+  int spare = 0, shrink = 0, restart = 0, aborted = 0, cells = 0;
+  double detect_s = 0.0;
+  for (const auto mode : modes) {
+    for (const auto& fc : classes) {
+      for (const int p : ranks) {
+        resil::RecoveryStats stats;
+        std::string diag;
+        const Outcome o = ladder_run(p, mode, fc, seed, conn, cid, baseline, &stats, &diag);
+        ++cells;
+        if (o == Outcome::aborted) ++aborted;
+        link += stats.healed_link;
+        spare += stats.healed_spare;
+        shrink += stats.healed_shrink;
+        restart += stats.healed_restart;
+        detect_s += stats.detect_s;
+        if (o != Outcome::aborted && stats.healed_shrink > 0) {
+          // A shrunk world must still have produced the cross-P baseline.
+          EXPECT_EQ(stats.ranks_final, p - stats.healed_shrink)
+              << "mode=" << recovery_mode_name(mode) << " class=" << fc.name << " P=" << p;
+        }
+        if (::testing::Test::HasFailure()) {
+          FAIL() << "matrix stopped at mode=" << recovery_mode_name(mode)
+                 << " class=" << fc.name << " P=" << p << " outcome=" << outcome_name(o)
+                 << "\n  " << diag;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(cells, 63);
+  EXPECT_EQ(aborted, 0) << "the full ladder must heal every injected fault class";
+  // Each ladder layer healed somewhere: ARQ retransmission (corrupt classes
+  // never reach the supervisor), spare substitution, in-place shrink, and
+  // the classic full restart; the heartbeat detector accumulated silent
+  // time naming the silent_death victims.
+  EXPECT_GT(link, 0) << "no corruption was healed at the link layer";
+  EXPECT_GT(spare, 0) << "no rank failure was healed by a spare";
+  EXPECT_GT(shrink, 0) << "no rank failure was healed by shrinking";
+  EXPECT_GT(restart, 0) << "no fault was healed by a full restart";
+  EXPECT_GT(detect_s, 0.0) << "the heartbeat detector never named a silent death";
+  std::printf("policy matrix: %d cells, heals: link=%lld spare=%d shrink=%d restart=%d "
+              "detect_s=%.3f\n",
+              cells, static_cast<long long>(link), spare, shrink, restart, detect_s);
 }

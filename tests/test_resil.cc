@@ -562,10 +562,13 @@ TEST(Checkpoint, WriteVerifyHealsInjectedDiskFaults) {
 
 // A CRC-detected payload corruption is a recoverable fault: the supervisor
 // clears the one-shot corruption stream and the retry completes correctly.
+// (ARQ off: this test exercises the supervisor rung of the ladder, so the
+// link layer must not heal the corruption first.)
 TEST(Supervisor, RecoversFromDetectedMessageCorruption) {
   par::RunOptions opts;
   opts.inject.seed = 99;
   opts.inject.corrupt_msg_stride = 1;  // every message is a victim
+  opts.arq.enabled = false;
   resil::SupervisorOptions sopt;
   sopt.max_retries = 2;
   sopt.backoff_initial_s = 0.0;
@@ -593,6 +596,7 @@ TEST(Supervisor, GivesUpWhenCorruptionPersists) {
   par::RunOptions opts;
   opts.inject.seed = 99;
   opts.inject.corrupt_msg_stride = 1;
+  opts.arq.enabled = false;  // supervisor-rung test, as above
   resil::SupervisorOptions sopt;
   sopt.max_retries = 1;
   sopt.backoff_initial_s = 0.0;
@@ -613,7 +617,7 @@ TEST(Supervisor, BackoffJitterIsSeededDeterministicAndBounded) {
   sopt.max_retries = 3;
   sopt.backoff_initial_s = 0.001;
   sopt.backoff_factor = 2.0;
-  sopt.backoff_max_s = 0.01;
+  sopt.backoff_cap_s = 0.01;
   sopt.backoff_jitter = 0.5;
   par::RunOptions opts;
   opts.inject.seed = 77;  // the jitter stream seed
@@ -643,4 +647,281 @@ TEST(Supervisor, BackoffJitterIsSeededDeterministicAndBounded) {
   const auto s3 = run_once(opts);
   EXPECT_DOUBLE_EQ(s3.backoff_min_s, 0.001);
   EXPECT_DOUBLE_EQ(s3.backoff_max_s, 0.002);
+}
+
+// --- In-place shrink/spare recovery (graded ladder, top rung) ---------------
+
+namespace {
+
+/// P-invariant supervised workload: a u64 state advanced per step from global
+/// (partition-independent) quantities only — each rank sums a hash over its
+/// *local octants*, circulates partial sums around the full ring (every rank
+/// accumulates the exact wrapped global octant sum), cross-checks it against
+/// a u64 allreduce, and folds the global sum into the state. Checkpointed
+/// every step (state as two integer-valued doubles on every octant) and
+/// restored elastically on retry, so a run repaired by shrinking to P-1
+/// ranks must finish with the state the fault-free run at P produced.
+std::uint64_t elastic_u64_body(par::Comm& c, resil::RecoveryContext& ctx,
+                               const Connectivity<2>& conn, std::uint64_t cid,
+                               const std::string& dir, int steps) {
+  resil::CheckpointRing ring(dir, 2);
+  auto f = make_forest(c, conn);
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  int k0 = 0;
+  int have = 0;
+  if (c.rank() == 0) have = ring.entries().empty() ? 0 : 1;
+  have = c.bcast(have, 0);
+  if (have != 0) {
+    auto r = resil::restore_latest<2>(c, conn, cid, ring);
+    if (c.rank() == 0) ctx.record_restore(r.bytes_read);
+    k0 = static_cast<int>(r.step) + 1;
+    EXPECT_EQ(r.forest.checksum(), f.checksum());  // static mesh, any partition
+    const std::uint64_t lo = static_cast<std::uint64_t>(r.fields.at(0).data.at(0));
+    const std::uint64_t hi = static_cast<std::uint64_t>(r.fields.at(0).data.at(1));
+    state = (hi << 32) | lo;
+  }
+  const int next = (c.rank() + 1) % c.size();
+  const int prev = (c.rank() + c.size() - 1) % c.size();
+  for (int k = k0; k < steps; ++k) {
+    std::uint64_t local = 0;
+    f.for_each_local([&](int t, const Octant<2>& o) {
+      local += par::detail::mix64(state ^ (static_cast<std::uint64_t>(t) << 48) ^
+                                  (static_cast<std::uint64_t>(o.x) << 28) ^
+                                  (static_cast<std::uint64_t>(o.y) << 8) ^
+                                  static_cast<std::uint64_t>(o.level));
+    });
+    std::uint64_t acc = local, pass = local;
+    for (int h = 0; h < c.size() - 1; ++h) {
+      c.send_value(next, 13, pass);
+      pass = c.recv(prev, 13).value<std::uint64_t>();
+      acc += pass;
+    }
+    const std::uint64_t glob = c.allreduce(local, par::ReduceOp::sum);
+    EXPECT_EQ(acc, glob);  // ring circulation and allreduce agree exactly
+    state = par::detail::mix64(state ^ glob ^ static_cast<std::uint64_t>(k));
+    resil::NamedField fld{"state", 2, {}};
+    f.for_each_local([&](int, const Octant<2>&) {
+      fld.data.push_back(static_cast<double>(state & 0xffffffffULL));
+      fld.data.push_back(static_cast<double>(state >> 32));
+    });
+    resil::write_checkpoint_ring(f, cid, static_cast<std::uint64_t>(k), {fld}, ring);
+    if (c.rank() == 0) ctx.note_step();
+  }
+  return par::detail::mix64(state) ^ f.checksum();
+}
+
+constexpr int elastic_steps = 4;
+
+/// Fault-free digest of the u64 workload; asserted identical across world
+/// sizes (that is the property shrink repairs rely on).
+std::uint64_t elastic_baseline(const Connectivity<2>& conn, std::uint64_t cid) {
+  std::uint64_t base = 0;
+  bool first = true;
+  for (const int p : {2, 3, 4}) {
+    std::uint64_t digest = 0;
+    const std::string dir = test_dir("elastic_u64_base_p" + std::to_string(p));
+    par::run(p, [&](par::Comm& c) {
+      resil::RecoveryContext ctx(0);
+      const auto d = elastic_u64_body(c, ctx, conn, cid, dir, elastic_steps);
+      if (c.rank() == 0) digest = d;
+    });
+    EXPECT_NE(digest, 0u);
+    if (first) {
+      base = digest;
+      first = false;
+    } else {
+      EXPECT_EQ(digest, base) << "u64 workload digest must be P-invariant (P=" << p << ")";
+    }
+  }
+  return base;
+}
+
+/// Per-rank comm-op counts of a fault-free u64 run at world size `p`.
+std::vector<std::uint64_t> elastic_ops(const Connectivity<2>& conn, std::uint64_t cid, int p) {
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(p), 0);
+  const std::string dir = test_dir("elastic_u64_ops_p" + std::to_string(p));
+  par::run(p, [&](par::Comm& c) {
+    resil::RecoveryContext ctx(0);
+    (void)elastic_u64_body(c, ctx, conn, cid, dir, elastic_steps);
+    ops[static_cast<std::size_t>(c.rank())] = ops_of(c.stats());
+  });
+  return ops;
+}
+
+}  // namespace
+
+// Rank failure under policy=shrink: the supervisor re-forms a (P-1)-rank
+// world in place, the retry restores the latest snapshot elastically, and the
+// final state is bit-identical to the fault-free run — at P in {2, 4, 8},
+// with MTTR bookkeeping recording the fault -> restored interval.
+TEST(ShrinkRecovery, ReformsSmallerWorldBitIdentically) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::uint64_t base = elastic_baseline(conn, cid);
+  ASSERT_NE(base, 0u);
+  for (const int P : {2, 4, 8}) {
+    int victim = -1;
+    const std::uint64_t seed = pick_kill_seed(P, P, &victim);
+    const auto ops = elastic_ops(conn, cid, P);
+    par::RunOptions opts;
+    opts.inject.seed = seed;
+    opts.inject.kill_rank_stride = P;
+    // ~3/4 through the victim's fault-free op count: after the first
+    // checkpoint (written every step), before the run can finish.
+    opts.inject.kill_after_ops = ops[static_cast<std::size_t>(victim)] * 3 / 4;
+    ASSERT_GT(opts.inject.kill_after_ops, 0u) << "P=" << P;
+    resil::SupervisorOptions sopt;
+    sopt.backoff_initial_s = 0.0;
+    // The shrink exemption, not kill-clearing, must make the retry survive.
+    sopt.clear_kill_on_retry = false;
+    sopt.policy.on_rank_failure = resil::RecoveryMode::shrink;
+    const std::string dir = test_dir("shrink_p" + std::to_string(P));
+    std::uint64_t digest = 0;
+    const auto stats = resil::supervise(
+        P, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
+          const auto d = elastic_u64_body(c, ctx, conn, cid, dir, elastic_steps);
+          if (c.rank() == 0) digest = d;
+        });
+    EXPECT_EQ(stats.attempts, 2) << "P=" << P;
+    EXPECT_EQ(stats.failures, 1) << "P=" << P;
+    EXPECT_EQ(stats.healed_shrink, 1) << "P=" << P;
+    EXPECT_EQ(stats.healed_spare, 0) << "P=" << P;
+    EXPECT_EQ(stats.ranks_final, P - 1) << "P=" << P;
+    EXPECT_EQ(digest, base) << "P=" << P;
+    // The repair interval (fault -> first restore of the retry) was recorded.
+    EXPECT_EQ(stats.repairs, 1) << "P=" << P;
+    EXPECT_GT(stats.repair_s, 0.0) << "P=" << P;
+    EXPECT_GT(stats.mttr_s(), 0.0) << "P=" << P;
+    EXPECT_NE(stats.summary().find("shrink=1"), std::string::npos);
+  }
+}
+
+// Rank failure under policy=spare: a pre-allocated spare substitutes for the
+// dead node, the world size is unchanged, and the result still matches.
+TEST(SpareRecovery, ConsumesASpareAndKeepsWorldSize) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::uint64_t base = elastic_baseline(conn, cid);
+  constexpr int P = 4;
+  int victim = -1;
+  const std::uint64_t seed = pick_kill_seed(P, P, &victim);
+  const auto ops = elastic_ops(conn, cid, P);
+  par::RunOptions opts;
+  opts.inject.seed = seed;
+  opts.inject.kill_rank_stride = P;
+  opts.inject.kill_after_ops = ops[static_cast<std::size_t>(victim)] * 3 / 4;
+  ASSERT_GT(opts.inject.kill_after_ops, 0u);
+  resil::SupervisorOptions sopt;
+  sopt.backoff_initial_s = 0.0;
+  sopt.clear_kill_on_retry = false;
+  sopt.policy.on_rank_failure = resil::RecoveryMode::spare;
+  sopt.policy.spares = 1;
+  const std::string dir = test_dir("spare");
+  std::uint64_t digest = 0;
+  const auto stats = resil::supervise(
+      P, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
+        const auto d = elastic_u64_body(c, ctx, conn, cid, dir, elastic_steps);
+        if (c.rank() == 0) digest = d;
+      });
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.healed_spare, 1);
+  EXPECT_EQ(stats.healed_shrink, 0);
+  EXPECT_EQ(stats.ranks_final, P);  // the spare kept the world at full size
+  EXPECT_EQ(digest, base);
+  EXPECT_NE(stats.summary().find("spare=1"), std::string::npos);
+}
+
+namespace {
+
+/// First seed for which exactly two of `nranks` ranks are kill victims, both
+/// below nranks - 1 (so both still exist after the first shrink).
+std::uint64_t pick_double_kill_seed(int nranks, int stride, int* v0, int* v1) {
+  for (std::uint64_t seed = 1; seed < 20000; ++seed) {
+    par::InjectConfig cfg;
+    cfg.seed = seed;
+    cfg.kill_rank_stride = stride;
+    cfg.kill_after_ops = 1;
+    std::vector<int> victims;
+    for (int r = 0; r < nranks; ++r) {
+      if (par::detail::is_kill_rank(cfg, r)) victims.push_back(r);
+    }
+    if (victims.size() == 2 && victims[1] < nranks - 1) {
+      *v0 = victims[0];
+      *v1 = victims[1];
+      return seed;
+    }
+  }
+  ADD_FAILURE() << "no double-victim kill seed found";
+  return 0;
+}
+
+}  // namespace
+
+// Back-to-back double failure under policy=shrink: two distinct victims die
+// (the per-rank kill hash persists across retries — clear_kill_on_retry is
+// off), the supervisor shrinks twice, exempting one victim per caught
+// failure, and the P-2 world still reproduces the baseline bit for bit.
+TEST(ShrinkRecovery, BackToBackDoubleFailureShrinksTwice) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::uint64_t base = elastic_baseline(conn, cid);
+  constexpr int P = 4;
+  int v0 = -1, v1 = -1;
+  const std::uint64_t seed = pick_double_kill_seed(P, 2, &v0, &v1);
+  ASSERT_NE(v0, v1);
+  const auto ops = elastic_ops(conn, cid, P);
+  par::RunOptions opts;
+  opts.inject.seed = seed;
+  opts.inject.kill_rank_stride = 2;
+  opts.inject.kill_after_ops =
+      std::min(ops[static_cast<std::size_t>(v0)], ops[static_cast<std::size_t>(v1)]) * 3 / 4;
+  ASSERT_GT(opts.inject.kill_after_ops, 0u);
+  resil::SupervisorOptions sopt;
+  sopt.max_retries = 3;
+  sopt.backoff_initial_s = 0.0;
+  sopt.clear_kill_on_retry = false;
+  sopt.policy.on_rank_failure = resil::RecoveryMode::shrink;
+  const std::string dir = test_dir("double_shrink");
+  std::uint64_t digest = 0;
+  const auto stats = resil::supervise(
+      P, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
+        const auto d = elastic_u64_body(c, ctx, conn, cid, dir, elastic_steps);
+        if (c.rank() == 0) digest = d;
+      });
+  EXPECT_EQ(stats.healed_shrink, 2);
+  EXPECT_EQ(stats.failures, 2);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.ranks_final, P - 2);
+  EXPECT_EQ(digest, base);
+}
+
+// At the min_ranks floor, a shrink-policy rank failure escalates to a full
+// restart (the bottom of the ladder) instead of shrinking below the floor.
+TEST(ShrinkRecovery, EscalatesToRestartAtTheFloor) {
+  const auto conn = Connectivity<2>::unit();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const std::uint64_t base = elastic_baseline(conn, cid);
+  constexpr int P = 2;
+  int victim = -1;
+  const std::uint64_t seed = pick_kill_seed(P, P, &victim);
+  const auto ops = elastic_ops(conn, cid, P);
+  par::RunOptions opts;
+  opts.inject.seed = seed;
+  opts.inject.kill_rank_stride = P;
+  opts.inject.kill_after_ops = ops[static_cast<std::size_t>(victim)] * 3 / 4;
+  resil::SupervisorOptions sopt;
+  sopt.backoff_initial_s = 0.0;
+  sopt.policy.on_rank_failure = resil::RecoveryMode::shrink;
+  sopt.policy.min_ranks = P;  // already at the floor: shrink is not allowed
+  const std::string dir = test_dir("shrink_floor");
+  std::uint64_t digest = 0;
+  const auto stats = resil::supervise(
+      P, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
+        const auto d = elastic_u64_body(c, ctx, conn, cid, dir, elastic_steps);
+        if (c.rank() == 0) digest = d;
+      });
+  EXPECT_EQ(stats.healed_shrink, 0);
+  EXPECT_EQ(stats.healed_restart, 1);  // clear_kill_on_retry healed it
+  EXPECT_EQ(stats.ranks_final, P);
+  EXPECT_EQ(digest, base);
 }
