@@ -8,7 +8,11 @@
 // recovery overhead is an elapsed-time question by definition.
 //
 // Usage: bench_resil [--json out.json]
+#include <unistd.h>
+
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <cinttypes>
 #include <cstdio>
@@ -32,7 +36,10 @@ double wall_s() {
 }
 
 std::string scratch_dir(const std::string& name) {
-  const auto d = std::filesystem::temp_directory_path() / ("esamr_bench_resil_" + name);
+  // Pid-suffixed so concurrent bench runs (e.g. CI shards on one box) never
+  // race on each other's snapshot rings.
+  const auto d = std::filesystem::temp_directory_path() /
+                 ("esamr_bench_resil_" + name + "_" + std::to_string(::getpid()));
   std::filesystem::remove_all(d);
   std::filesystem::create_directories(d);
   return d.string();
@@ -344,8 +351,130 @@ std::vector<MttrRow> mttr_table() {
   return rows;
 }
 
+struct DeltaRow {
+  int ranks;
+  int steps;
+  std::int64_t full_bytes;   // mean per-step full snapshot of the same state
+  std::int64_t delta_bytes;  // mean per-step delta checkpoint file
+  double ratio;              // delta_bytes / full_bytes
+  int chain_len;             // delta entries replayed by the chain restore
+  double restore_chain_s;    // newest full snapshot + chain replay, wall clock
+  int identical;             // chain restore reproduces the live forest+field
+};
+
+/// Differential checkpoints under a slow adapt front: each step writes both a
+/// delta checkpoint (ring) and a full snapshot of the same state (throwaway)
+/// and compares bytes; the ring is then restored through the delta chain and
+/// checked bit-identical against the live state.
+std::vector<DeltaRow> delta_table() {
+  std::printf("\n=== delta checkpoints vs full snapshots (moving adapt front) ===\n");
+  std::printf("%4s %6s %12s %12s %7s %6s %11s %s\n", "P", "steps", "full B/step",
+              "delta B/step", "ratio", "chain", "restore s", "identical");
+  const auto conn = forest::Connectivity<3>::rotcubes();
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  std::vector<DeltaRow> rows;
+  for (const int p : {1, 4}) {
+    DeltaRow row{};
+    row.ranks = p;
+    const std::string dir = scratch_dir("delta_p" + std::to_string(p));
+    const std::string full_ref = dir + "/full_ref.esnap";
+    par::run(p, [&](par::Comm& c) {
+      const int base = 3;
+      const int steps = 6;
+      const double root = static_cast<double>(forest::Octant<3>::root_len);
+      const double radius = 1.6 * static_cast<double>(forest::Octant<3>::root_len >> base);
+      const auto front = [&](int s) {
+        const double fx = 0.2 + 0.02 * static_cast<double>(s) / steps;
+        return std::array<double, 3>{fx * root, 0.35 * root, 0.55 * root};
+      };
+      const auto dist = [&](const forest::Octant<3>& o, const std::array<double, 3>& ctr) {
+        const double half = 0.5 * static_cast<double>(o.size());
+        const double dx = (static_cast<double>(o.x) + half) - ctr[0];
+        const double dy = (static_cast<double>(o.y) + half) - ctr[1];
+        const double dz = (static_cast<double>(o.z) + half) - ctr[2];
+        return std::sqrt(dx * dx + dy * dy + dz * dz);
+      };
+      const auto refine_mark = [&](int s) {
+        return [&, s](int t, const forest::Octant<3>& o) {
+          return t == 0 && o.level <= base + 1 && dist(o, front(s)) < radius;
+        };
+      };
+      const auto coarsen_mark = [&](int s) {
+        return [&, s](int t, const forest::Octant<3>& o) {
+          return t == 0 && o.level > base && dist(o, front(s)) > 2.2 * radius;
+        };
+      };
+      // The payload is a pure function of the octant, so values outside the
+      // delta regions are unchanged between ring writes — the contract
+      // write_delta_checkpoint_ring requires.
+      const auto val = [](int t, const forest::Octant<3>& o) {
+        return static_cast<double>(t) + 1e-6 * o.x + 1e-7 * o.y + 1e-8 * o.z + 0.1 * o.level;
+      };
+      const auto field_of = [&](const forest::Forest<3>& f) {
+        resil::NamedField u{"u", 1, {}};
+        f.for_each_local([&](int t, const forest::Octant<3>& o) { u.data.push_back(val(t, o)); });
+        return u;
+      };
+
+      auto f = forest::Forest<3>::new_uniform(c, &conn, base);
+      f.partition();
+      for (int w = 0; w < 2; ++w) {
+        f.refine(base + 2, false, refine_mark(0));
+        f.balance();
+      }
+      resil::CheckpointRing ring(dir, 4);
+      resil::write_checkpoint_ring(f, cid, 0, {field_of(f)}, ring);
+      std::int64_t dbytes = 0, fbytes = 0;
+      int chain = 0;
+      for (int s = 1; s <= steps; ++s) {
+        forest::DeltaSet<3> delta(f.num_trees());
+        f.refine(base + 2, false, refine_mark(s), &delta);
+        f.coarsen(false, coarsen_mark(s), &delta);
+        f.balance_incremental(delta);
+        resil::write_delta_checkpoint_ring(f, cid, static_cast<std::uint64_t>(s), {field_of(f)},
+                                           delta, ring);
+        resil::write_checkpoint(f, cid, static_cast<std::uint64_t>(s), {field_of(f)}, full_ref);
+        if (c.rank() == 0) {
+          const std::string newest = ring.newest();
+          dbytes += static_cast<std::int64_t>(std::filesystem::file_size(newest));
+          if (resil::CheckpointRing::is_delta(newest)) ++chain;
+          fbytes += static_cast<std::int64_t>(std::filesystem::file_size(full_ref));
+        }
+      }
+      c.barrier();
+      const double t0 = wall_s();
+      auto r = resil::restore_latest_chain<3>(c, conn, cid, ring);
+      const double t1 = wall_s();
+      int same = r.step == static_cast<std::uint64_t>(steps) &&
+                 r.forest.checksum() == f.checksum();
+      if (same != 0) {
+        const auto expect = field_of(r.forest);
+        same = r.fields.size() == 1 && r.fields[0].data == expect.data;
+      }
+      same = c.allreduce(same, par::ReduceOp::logical_and);
+      if (c.rank() == 0) {
+        row.steps = steps;
+        row.full_bytes = fbytes / steps;
+        row.delta_bytes = dbytes / steps;
+        row.ratio = static_cast<double>(dbytes) / static_cast<double>(fbytes);
+        row.chain_len = chain;
+        row.restore_chain_s = t1 - t0;
+        row.identical = same;
+      }
+    });
+    rows.push_back(row);
+    std::printf("%4d %6d %12" PRId64 " %12" PRId64 " %6.1f%% %6d %11.4f %s\n", row.ranks,
+                row.steps, row.full_bytes, row.delta_bytes, 100.0 * row.ratio, row.chain_len,
+                row.restore_chain_s, row.identical != 0 ? "yes" : "NO");
+  }
+  std::printf("(a delta file stores only the replicated change regions, the leaves inside\n");
+  std::printf(" them, and the field values on those leaves, CRC-chained to its base)\n");
+  return rows;
+}
+
 void write_json(const char* path, const std::vector<BandwidthRow>& bw,
-                const std::vector<RecoveryRow>& rec, const std::vector<MttrRow>& mttr) {
+                const std::vector<RecoveryRow>& rec, const std::vector<MttrRow>& mttr,
+                const std::vector<DeltaRow>& del) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_resil: cannot open %s for writing\n", path);
@@ -379,6 +508,18 @@ void write_json(const char* path, const std::vector<BandwidthRow>& bw,
                  r.fault, r.layer, r.heals, r.detect_s, r.mttr_s,
                  i + 1 < mttr.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"delta\": [\n");
+  for (std::size_t i = 0; i < del.size(); ++i) {
+    const auto& r = del[i];
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"steps\": %d, \"full_bytes_per_step\": %" PRId64
+                 ", \"delta_bytes_per_step\": %" PRId64
+                 ", \"ratio\": %.4f, \"chain_len\": %d, \"restore_chain_s\": %.6f, "
+                 "\"identical\": %s}%s\n",
+                 r.ranks, r.steps, r.full_bytes, r.delta_bytes, r.ratio, r.chain_len,
+                 r.restore_chain_s, r.identical != 0 ? "true" : "false",
+                 i + 1 < del.size() ? "," : "");
+  }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path);
@@ -394,6 +535,7 @@ int main(int argc, char** argv) {
   const auto bw = bandwidth_table();
   const auto rec = recovery_table();
   const auto mttr = mttr_table();
-  if (json_path != nullptr) write_json(json_path, bw, rec, mttr);
+  const auto del = delta_table();
+  if (json_path != nullptr) write_json(json_path, bw, rec, mttr, del);
   return 0;
 }

@@ -38,6 +38,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "forest/delta.h"
 #include "forest/forest.h"
 #include "forest/ghost.h"
 #include "forest/stats.h"
@@ -108,13 +109,35 @@ void Forest<Dim>::balance() {
 
 template <int Dim>
 void Forest<Dim>::balance_single_pass() {
+  balance_single_pass_impl(nullptr);
+}
+
+namespace {
+
+/// Seed-filter width for incremental balance, in delta-sized insulation
+/// rings. Binding constraints on a delta region d come from families whose
+/// parent is no larger than d (coarser demands are satisfied by the
+/// level >= level(d) invariant of delta regions), and a level-l constraint
+/// octant lies within the geometric sum of its cascade steps — under
+/// 4 * size of its originating family — so every family whose closure can
+/// bind inside or cascade out of the delta overlaps this many rings. The
+/// same bound read from the family's side — a family's constraints reach
+/// under 4 * its own size — makes the parent-sized ball test
+/// (DeltaSet::ball_overlaps) sound too, so seeding requires both. The
+/// bit-identity battery (test_incremental.cc) pins the sufficiency.
+constexpr int kBalanceSeedRings = 6;
+
+}  // namespace
+
+template <int Dim>
+void Forest<Dim>::balance_single_pass_impl(const std::vector<std::vector<Oct>>* seed_filter,
+                                           DeltaSet<Dim>* seed_raw) {
   const int p = comm_->size();
   const int me = comm_->rank();
   OpStats& ops = op_stats();
   ops.balance_calls++;
   const std::int64_t n_before = num_local();
   const int nt = num_trees();
-
   // Level buckets: bucket[t][l] holds constraint octants of tree t at level
   // l, each demanding that every overlapping leaf end at level >= l.
   std::vector<std::vector<std::vector<Oct>>> bucket(
@@ -144,16 +167,62 @@ void Forest<Dim>::balance_single_pass() {
 
   // Seed: one parent insulation layer per sibling family (siblings are
   // adjacent in the sorted leaf array, so a one-deep memo deduplicates).
-  for (int t = 0; t < nt; ++t) {
-    Oct last_par;
-    bool have_par = false;
-    for (const Oct& o : trees_[static_cast<std::size_t>(t)]) {
-      if (o.level < 2) continue;  // the layer would demand level >= 0: vacuous
-      const Oct par = o.parent();
-      if (have_par && par == last_par) continue;
-      last_par = par;
-      have_par = true;
-      insert_layer(t, par);
+  // Under a seed filter only families whose parent overlaps the filter
+  // region are seeded: distant families' constraints were satisfied by the
+  // pre-adapt (balanced) forest and bind nowhere in the unchanged leaves;
+  // the cascade in the propagation loop below is seed-independent.
+  if (seed_filter == nullptr) {
+    for (int t = 0; t < nt; ++t) {
+      Oct last_par;
+      bool have_par = false;
+      for (const Oct& o : trees_[static_cast<std::size_t>(t)]) {
+        if (o.level < 2) continue;  // the layer would demand level >= 0: vacuous
+        const Oct par = o.parent();
+        if (have_par && par == last_par) continue;
+        last_par = par;
+        have_par = true;
+        insert_layer(t, par);
+      }
+    }
+  } else {
+    // Delta-driven seeding: instead of scanning every leaf against the
+    // filter, enumerate exactly the families whose parent overlaps a filter
+    // region — O(|filter| log n) lookups instead of O(n) scans. A parent P
+    // overlaps region w iff (octant nesting) P <= w, caught by the leaf
+    // ranges overlapping w, or P strictly contains w, caught by probing for
+    // leaf children of each ancestor of w. The ball test against the raw
+    // delta then prunes candidates just like the full scan did.
+    for (int t = 0; t < nt; ++t) {
+      const std::vector<Oct>& filter = (*seed_filter)[static_cast<std::size_t>(t)];
+      const auto& leaves = trees_[static_cast<std::size_t>(t)];
+      std::vector<Oct> parents;
+      for (const Oct& w : filter) {
+        const auto [lo, hi] = overlapping_range<Dim>(leaves, w);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (leaves[i].level < 2) continue;
+          const Oct par = leaves[i].parent();
+          if (parents.empty() || !(parents.back() == par)) parents.push_back(par);
+        }
+        for (Oct anc = w; anc.level >= 2;) {
+          anc = anc.parent();
+          for (int ci = 0; ci < Topo<Dim>::num_children; ++ci) {
+            const Oct c = anc.child(ci);
+            const auto it = std::lower_bound(leaves.begin(), leaves.end(), c);
+            if (it != leaves.end() && *it == c) {
+              parents.push_back(anc);
+              break;
+            }
+          }
+        }
+      }
+      std::sort(parents.begin(), parents.end());
+      parents.erase(std::unique(parents.begin(), parents.end()), parents.end());
+      for (const Oct& par : parents) {
+        if (seed_raw != nullptr && !seed_raw->ball_overlaps(*conn_, t, par, kBalanceSeedRings)) {
+          continue;
+        }
+        insert_layer(t, par);
+      }
     }
   }
 
@@ -262,6 +331,62 @@ void Forest<Dim>::balance_single_pass() {
   }
   ops.balance_leaves_created += num_local() - n_before;
   update_partition_meta();
+}
+
+template <int Dim>
+bool Forest<Dim>::balance_incremental(DeltaSet<Dim>& delta) {
+  OpStats& ops = op_stats();
+  const std::int64_t local_cnt = delta.count();
+  // Global go/no-go: every rank must take the same path. The kill switch,
+  // the reference/paranoid oracles (which must see the full pass), a
+  // poisoned delta, and the size threshold all force the full rebuild.
+  double threshold = 0.10;
+  if (const char* v = std::getenv("ESAMR_DELTA_THRESHOLD")) threshold = std::atof(v);
+  const bool full_local = !incremental_enabled() || delta.overflow ||
+                          env_flag("ESAMR_BALANCE_REFERENCE") ||
+                          env_flag("ESAMR_BALANCE_PARANOID");
+  // One fused allreduce: [any-rank-wants-full, global delta, global octants].
+  std::array<std::int64_t, 3> tot{static_cast<std::int64_t>(full_local), local_cnt, num_local()};
+  comm_->allreduce_bytes(tot.data(), sizeof(tot), [](void* acc_p, const void* in_p) {
+    auto* acc = static_cast<std::int64_t*>(acc_p);
+    const auto* in = static_cast<const std::int64_t*>(in_p);
+    for (int i = 0; i < 3; ++i) acc[i] += in[i];
+  });
+  const std::int64_t want_full = tot[0];
+  const std::int64_t gd = tot[1];
+  const std::int64_t gn = tot[2];
+  if (want_full != 0 || static_cast<double>(gd) > threshold * static_cast<double>(gn)) {
+    delta.overflow = true;
+    balance();
+    return false;
+  }
+  ops.delta_octants += local_cnt;
+  if (gd == 0) return true;  // balanced before the markers and nothing changed
+
+  // Snapshot the pre-balance leaves so completion-induced refinements can be
+  // recorded; then run the single pass seeded only near the replicated delta
+  // (changes on any rank can force refinement across its partition boundary).
+  const std::vector<std::vector<Oct>> before = trees_;
+  DeltaSet<Dim> global = delta.replicated(*comm_);
+  const auto filter = global.closure(*conn_, kBalanceSeedRings);
+  balance_single_pass_impl(&filter, &global);
+
+  // Balance only refines: every pre-balance leaf is either kept or replaced
+  // by its complete refined subtree (contiguous in SFC order).
+  for (int t = 0; t < num_trees(); ++t) {
+    const auto& olds = before[static_cast<std::size_t>(t)];
+    const auto& news = trees_[static_cast<std::size_t>(t)];
+    std::size_t j = 0;
+    for (const Oct& o : olds) {
+      if (j < news.size() && news[j] == o) {
+        ++j;
+        continue;
+      }
+      delta.record(t, o);
+      while (j < news.size() && o.contains(news[j])) ++j;
+    }
+  }
+  return true;
 }
 
 template <int Dim>
@@ -419,6 +544,12 @@ template void Forest<2>::balance();
 template void Forest<3>::balance();
 template void Forest<2>::balance_single_pass();
 template void Forest<3>::balance_single_pass();
+template void Forest<2>::balance_single_pass_impl(const std::vector<std::vector<Octant<2>>>*,
+                                                  DeltaSet<2>*);
+template void Forest<3>::balance_single_pass_impl(const std::vector<std::vector<Octant<3>>>*,
+                                                  DeltaSet<3>*);
+template bool Forest<2>::balance_incremental(DeltaSet<2>&);
+template bool Forest<3>::balance_incremental(DeltaSet<3>&);
 template void Forest<2>::balance_ripple();
 template void Forest<3>::balance_ripple();
 template bool check_balanced<2>(const Forest<2>&);

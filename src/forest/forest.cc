@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "forest/delta.h"
+
 namespace esamr::forest {
 
 namespace {
@@ -174,29 +176,34 @@ const Octant<Dim>* Forest<Dim>::find_local_leaf_containing(int tree_id, const Oc
 
 template <int Dim>
 void Forest<Dim>::refine(int max_level, bool recursive,
-                         const std::function<bool(int, const Oct&)>& marker) {
+                         const std::function<bool(int, const Oct&)>& marker,
+                         DeltaSet<Dim>* delta) {
   for (int t = 0; t < num_trees(); ++t) {
     auto& leaves = trees_[static_cast<std::size_t>(t)];
     if (leaves.empty()) continue;
     std::vector<Oct> out;
     out.reserve(leaves.size());
     // Depth-first emission preserves SFC order; `allow` limits non-recursive
-    // refinement to the original leaves.
-    const std::function<void(const Oct&, bool)> emit = [&](const Oct& o, bool allow) {
+    // refinement to the original leaves. Only the original leaf is recorded
+    // as a change region — recursive refinement stays inside it.
+    const std::function<void(const Oct&, bool, bool)> emit = [&](const Oct& o, bool allow,
+                                                                 bool original) {
       if (allow && o.level < max_level && marker(t, o)) {
-        for (int c = 0; c < T::num_children; ++c) emit(o.child(c), recursive);
+        if (original && delta != nullptr) delta->record(t, o);
+        for (int c = 0; c < T::num_children; ++c) emit(o.child(c), recursive, false);
       } else {
         out.push_back(o);
       }
     };
-    for (const Oct& o : leaves) emit(o, true);
+    for (const Oct& o : leaves) emit(o, true, true);
     leaves = std::move(out);
   }
   update_partition_meta();
 }
 
 template <int Dim>
-void Forest<Dim>::coarsen(bool recursive, const std::function<bool(int, const Oct&)>& marker) {
+void Forest<Dim>::coarsen(bool recursive, const std::function<bool(int, const Oct&)>& marker,
+                          DeltaSet<Dim>* delta) {
   bool changed_any = true;
   while (changed_any) {
     changed_any = false;
@@ -218,6 +225,7 @@ void Forest<Dim>::coarsen(bool recursive, const std::function<bool(int, const Oc
           }
         }
         if (family && marker(t, parent)) {
+          if (delta != nullptr) delta->record(t, parent);
           out.push_back(parent);
           i += static_cast<std::size_t>(T::num_children);
           changed_any = true;

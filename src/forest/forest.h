@@ -24,6 +24,9 @@
 
 namespace esamr::forest {
 
+template <int Dim>
+struct DeltaSet;  // forest/delta.h
+
 /// Position in the global space-filling-curve order: tree id plus the
 /// max-level Morton key of the octant's first descendant.
 struct SfcPosition {
@@ -98,13 +101,19 @@ class Forest {
   }
 
   /// "Refine": subdivide leaves for which `marker` returns true, once or
-  /// recursively, never beyond `max_level`. No communication.
-  void refine(int max_level, bool recursive, const std::function<bool(int, const Oct&)>& marker);
+  /// recursively, never beyond `max_level`. No communication. When `delta`
+  /// is non-null, every subdivided original leaf is recorded as a change
+  /// region (forest/delta.h) for the incremental adapt pipeline.
+  void refine(int max_level, bool recursive, const std::function<bool(int, const Oct&)>& marker,
+              DeltaSet<Dim>* delta = nullptr);
 
   /// "Coarsen": replace complete local families by their parent where
   /// `marker(tree, parent)` returns true, once or recursively. Families
-  /// split across a rank boundary are left untouched (as in p4est).
-  void coarsen(bool recursive, const std::function<bool(int, const Oct&)>& marker);
+  /// split across a rank boundary are left untouched (as in p4est). When
+  /// `delta` is non-null, every replacing parent is recorded as a change
+  /// region.
+  void coarsen(bool recursive, const std::function<bool(int, const Oct&)>& marker,
+               DeltaSet<Dim>* delta = nullptr);
 
   /// "Partition": redistribute octants so every rank holds an equal share
   /// (+-1) of the space-filling curve. One allgather plus point-to-point
@@ -148,6 +157,17 @@ class Forest {
   /// same-level shadows, drain/refine to a local fixed point, exchange, and
   /// repeat until a global fixed point. Identical result, higher constant.
   void balance_ripple();
+
+  /// Incremental balance for a forest that was 2:1 balanced before the
+  /// refine/coarsen marker pass recorded in `delta` (collective). Runs the
+  /// single pass with its seeding restricted to sibling families near the
+  /// delta closure — O(|delta|) seeding instead of O(N) — and appends every
+  /// leaf it refines away to `delta`. Falls back to the full balance() when
+  /// the global delta exceeds ESAMR_DELTA_THRESHOLD (default 0.10) of the
+  /// mesh, when ESAMR_INCR=0, or when a reference/paranoid oracle env is
+  /// set; the fallback marks delta.overflow so node/ghost caches rebuild.
+  /// Returns true iff the incremental path ran.
+  bool balance_incremental(DeltaSet<Dim>& delta);
 
   /// Rank owning the SFC position of `o`'s first descendant. `o` must be
   /// inside its tree's root.
@@ -197,6 +217,14 @@ class Forest {
  private:
   Forest(par::Comm& comm, const Conn* conn)
       : comm_(&comm), conn_(conn), trees_(static_cast<std::size_t>(conn->num_trees())) {}
+
+  /// The single-pass balance body; a non-null `seed_filter` (per tree,
+  /// sorted, disjoint) restricts initial seeding to families whose parent
+  /// overlaps it, additionally requiring the parent's own seed-ring ball to
+  /// touch `seed_raw` (the raw replicated delta) when non-null (balance.cc;
+  /// used by balance_incremental).
+  void balance_single_pass_impl(const std::vector<std::vector<Oct>>* seed_filter,
+                                DeltaSet<Dim>* seed_raw = nullptr);
 
   par::Comm* comm_;
   const Conn* conn_;

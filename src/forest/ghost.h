@@ -25,6 +25,23 @@ namespace esamr::forest {
 inline constexpr int tag_ghost_build = 0x5f9e70;
 inline constexpr int tag_ghost_exchange = 0x5f9e71;
 
+/// Cached per-leaf foreign-target sets from a previous ghost scan, keyed by
+/// the partition markers in force at capture. A leaf's target ranks depend
+/// only on its own geometry and the replicated SFC markers — never on other
+/// leaves — so under an unchanged partition every unchanged leaf reuses its
+/// cached targets verbatim and only leaves created by the adapt step pay the
+/// per-direction owner queries.
+template <int Dim>
+struct GhostScanCache {
+  std::vector<SfcPosition> markers;  ///< partition fingerprint at capture
+  /// Per tree, aligned arrays: the local leaf octants in SFC order, with
+  /// targets[toff[i] .. toff[i+1]) holding leaf i's sorted foreign targets.
+  std::vector<std::vector<Octant<Dim>>> leaves;
+  std::vector<std::vector<std::int32_t>> toff;
+  std::vector<std::vector<std::int32_t>> targets;
+  bool valid = false;
+};
+
 template <int Dim>
 struct GhostLayer {
   using Oct = Octant<Dim>;
@@ -66,6 +83,20 @@ struct GhostLayer {
   /// Blocking twin of build (one alltoallv after the scan); identical
   /// result, kept as the differential-testing oracle.
   static GhostLayer build_blocking(const Forest<Dim>& forest, int layers = 1);
+
+  /// Full single-layer build that also (re)captures the per-leaf target
+  /// cache for subsequent incremental builds. Identical result to build().
+  static GhostLayer build_cached(const Forest<Dim>& forest, GhostScanCache<Dim>& cache);
+
+  /// Incremental single-layer build: unchanged leaves reuse their cached
+  /// targets, only new leaves pay owner queries, and each destination whose
+  /// octant list is unchanged receives a one-octant sentinel instead of the
+  /// list (the receiver splices that rank's segment from `prev`). Result is
+  /// bit-identical to build(); falls back to build_cached when the cache is
+  /// invalid, the partition changed, or ESAMR_INCR=0 (collective decision).
+  /// The cache is updated in place either way.
+  static GhostLayer build_incremental(const Forest<Dim>& forest, const GhostLayer& prev,
+                                      GhostScanCache<Dim>& cache);
 
   /// Exchange per-element payloads: `mirror_data` holds `per_elem` values of
   /// T for each mirror (in `mirrors` order); the result holds `per_elem`

@@ -23,6 +23,7 @@
 #include <bit>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
@@ -662,6 +663,596 @@ static NodeNumbering<Dim> build_batched(const Forest<Dim>& forest, const GhostLa
                        known_gid_keys.end());
   out.gid_keys = std::move(known_gid_keys);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental patching (build_incremental): reuse the previous numbering
+// outside the delta neighborhood, re-run the batched protocol only inside.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Invalidation horizon for element re-classification, in same-size
+/// insulation rings around each delta octant d. A corner's expansion depends
+/// on its touching leaves (<= 1 cell), its masters on the constraining
+/// entity of a touching leaf (<= 1 leaf size), and — because the forest is
+/// corner-balanced, so the corners of a constraining face/edge are corners
+/// of the coarse leaf and cannot themselves hang — the chain stops there:
+/// the hazard horizon is <= 2 * size(d), plus one ring of margin for the
+/// touching relation being closed-region. The bit-identity battery
+/// (test_incremental) pins this bound; a violation is caught at runtime by
+/// the invalidated-node check in the gid remap.
+constexpr int kNodesRings = 3;
+
+}  // namespace
+
+template <int Dim>
+static NodeNumbering<Dim> patch_batched(const Forest<Dim>& forest, const GhostLayer<Dim>& ghost,
+                                        DeltaSet<Dim>& delta, NodesCache<Dim>& cache) {
+  using Oct = Octant<Dim>;
+  using T = Topo<Dim>;
+  using Key = typename NodeNumbering<Dim>::Key;
+  using Contrib = typename NodeNumbering<Dim>::Contrib;
+  constexpr int nc = T::num_corners;
+  par::Comm& comm = forest.comm();
+  const Connectivity<Dim>& conn = forest.conn();
+  const int p = comm.size();
+  const int me = comm.rank();
+  OpStats& ops = op_stats();
+
+  NodeNumbering<Dim> old = std::move(cache.numbering);
+
+  // --- Invalidation regions ---------------------------------------------------
+  DeltaSet<Dim> global = delta.replicated(comm);
+  const auto n_local = static_cast<std::size_t>(forest.num_local());
+  if (global.empty()) {
+    // Nothing changed anywhere: the cached numbering is the rebuild result.
+    ops.nodes_reused += static_cast<std::int64_t>(n_local);
+    return old;
+  }
+  // Delta regions with a point on their tree's boundary are the only ones a
+  // point in ANOTHER tree's frame can fall into; when none exist, every
+  // cross-tree image check below is skipped wholesale.
+  bool any_boundary_region = false;
+  global.normalize();
+  for (std::size_t t = 0; t < global.regions.size() && !any_boundary_region; ++t) {
+    for (const Oct& d : global.regions[t]) {
+      for (int a = 0; a < Dim; ++a) {
+        if (d.coord(a) == 0 || d.coord(a) + d.size() == Oct::root_len) {
+          any_boundary_region = true;
+          break;
+        }
+      }
+      if (any_boundary_region) break;
+    }
+  }
+  // True iff the lattice point lies in the closed delta, in any tree frame.
+  const auto point_in_delta = [&](int t, const std::array<std::int32_t, 3>& pt) {
+    if (global.contains_point(t, pt)) return true;
+    if (any_boundary_region && !NodeClassifier<Dim>::tree_interior(pt)) {
+      for (const auto& [t2, p2] : conn.point_images(t, pt)) {
+        if (global.contains_point(t2, p2)) return true;
+      }
+    }
+    return false;
+  };
+
+  // --- Align new elements against the cached leaf snapshot --------------------
+  // An element's row must be rebuilt (stale) iff
+  //   (a) one of its corner points lies in the CLOSED delta region, in any
+  //       tree frame — a corner's classification depends only on its touching
+  //       leaves, and by octree nesting a leaf overlapping a delta octant is
+  //       contained in it (the DeltaSet level invariant forbids a coarser
+  //       leaf), hence touches the corner only if the corner is on the closed
+  //       delta boundary. This also covers every changed leaf itself. Tested
+  //       as a closed element-box/region overlap (a region cannot hide
+  //       strictly inside an element: nesting would make it a changed
+  //       descendant, so box overlap <=> some corner in the closed region up
+  //       to face-adjacent contact, a sound over-approximation); or
+  //   (b) some corner hung in the cached numbering and the chain's bounding
+  //       box touches the delta: a hanging slot stores the transitively
+  //       expanded master chain, and every chain node lies in the convex
+  //       hull of the final independent masters (each intermediate is inside
+  //       the hull of its own entity's corners), so the bbox of {corner,
+  //       final master keys} bounds the whole chain. When the finals
+  //       canonicalize into another tree frame, or the bbox reaches a tree
+  //       boundary while boundary-touching delta regions exist, fall back to
+  //       the conservative kNodesRings element-ball.
+  // Every other element must exist unchanged in the snapshot.
+  std::vector<std::int64_t> old_of(n_local, -1);  // reused: old local index
+  struct StaleElem {
+    std::int32_t tree;
+    Oct oct;
+    std::int64_t li;
+  };
+  std::vector<StaleElem> stale;
+  const auto old_key_of = [&](std::int64_t g) -> const Key& {
+    return (g >= old.owned_offset && g < old.owned_offset + old.num_owned)
+               ? old.owned_keys[static_cast<std::size_t>(g - old.owned_offset)]
+               : old.key_of(g);
+  };
+  // Closed-interval overlap of any tree-t delta region with the box [lo, hi].
+  const auto delta_box_overlap = [&](int t, const std::array<std::int64_t, 3>& lo,
+                                     const std::array<std::int64_t, 3>& hi) {
+    for (const Oct& d : global.regions[static_cast<std::size_t>(t)]) {
+      bool hit = true;
+      for (int a = 0; a < Dim; ++a) {
+        const std::int64_t dc = d.coord(a);
+        if (dc > hi[static_cast<std::size_t>(a)] || lo[static_cast<std::size_t>(a)] > dc + d.size()) {
+          hit = false;
+          break;
+        }
+      }
+      if (hit) return true;
+    }
+    return false;
+  };
+  {
+    std::int64_t li = 0, old_base = 0;
+    for (int t = 0; t < forest.num_trees(); ++t) {
+      const auto& news = forest.tree(t);
+      const auto& olds = cache.leaves[static_cast<std::size_t>(t)];
+      std::size_t oi = 0;
+      for (const Oct& o : news) {
+        // Closed-box overlap of the element with the tree's delta regions is
+        // equivalent to "some corner lies in a closed region" up to the
+        // face-adjacent neighbors (octant nesting rules out a region hiding
+        // strictly inside a leaf) — one linear region scan instead of 2^Dim
+        // point probes. Cross-frame corners still need the image walk.
+        std::array<std::int64_t, 3> elo{}, ehi{};
+        bool on_tree_boundary = false;
+        for (int a = 0; a < Dim; ++a) {
+          elo[static_cast<std::size_t>(a)] = o.coord(a);
+          ehi[static_cast<std::size_t>(a)] = o.coord(a) + o.size();
+          on_tree_boundary = on_tree_boundary || o.coord(a) == 0 ||
+                             o.coord(a) + o.size() == Oct::root_len;
+        }
+        bool is_stale = delta_box_overlap(t, elo, ehi);
+        if (!is_stale && any_boundary_region && on_tree_boundary) {
+          for (int c = 0; c < nc && !is_stale; ++c) {
+            const auto cp = o.corner_point(c);
+            if (NodeClassifier<Dim>::tree_interior(cp)) continue;
+            for (const auto& [t2, p2] : conn.point_images(t, cp)) {
+              if (global.contains_point(t2, p2)) {
+                is_stale = true;
+                break;
+              }
+            }
+          }
+        }
+        if (!is_stale) {
+          while (oi < olds.size() && olds[oi] < o) ++oi;
+          if (oi >= olds.size() || !(olds[oi] == o)) {
+            throw std::runtime_error("nodes: changed element escaped the delta closure");
+          }
+          const std::int64_t og = old_base + static_cast<std::int64_t>(oi);
+          ++oi;
+          for (int c = 0; c < nc && !is_stale; ++c) {
+            const auto& slot =
+                old.elements[static_cast<std::size_t>(og)][static_cast<std::size_t>(c)];
+            if (slot.size() <= 1) continue;  // independent corner: (a) was exact
+            const auto cp = o.corner_point(c);
+            std::array<std::int64_t, 3> lo{cp[0], cp[1], cp[2]};
+            std::array<std::int64_t, 3> hi = lo;
+            bool cross = false;
+            for (const Contrib& cb : slot) {
+              const Key& mk = old_key_of(cb.gid);
+              if (mk[0] != t) {
+                cross = true;
+                break;
+              }
+              for (int a = 0; a < Dim; ++a) {
+                const std::int64_t v = mk[1 + a];
+                lo[static_cast<std::size_t>(a)] = std::min(lo[static_cast<std::size_t>(a)], v);
+                hi[static_cast<std::size_t>(a)] = std::max(hi[static_cast<std::size_t>(a)], v);
+              }
+            }
+            bool on_boundary = false;
+            for (int a = 0; a < Dim && !on_boundary; ++a) {
+              on_boundary = lo[static_cast<std::size_t>(a)] <= 0 ||
+                            hi[static_cast<std::size_t>(a)] >= Oct::root_len;
+            }
+            if (cross || (on_boundary && any_boundary_region)) {
+              is_stale = global.ball_overlaps(conn, t, o, kNodesRings);
+            } else {
+              is_stale = delta_box_overlap(t, lo, hi);
+            }
+          }
+          if (!is_stale) old_of[static_cast<std::size_t>(li)] = og;
+        }
+        if (is_stale) stale.push_back(StaleElem{t, o, li});
+        ++li;
+      }
+      old_base += static_cast<std::int64_t>(olds.size());
+    }
+  }
+  ops.nodes_patched += static_cast<std::int64_t>(stale.size());
+  ops.nodes_reused += static_cast<std::int64_t>(n_local) - static_cast<std::int64_t>(stale.size());
+
+  // --- Classify the corners of stale elements (pass 1 of the patch) -----------
+  // Lazy: ranks with no stale elements build the leaf directory only if the
+  // resolution phase routes a request their way.
+  std::optional<NodeClassifier<Dim>> nclass_opt;
+  const auto nclass_get = [&]() -> const NodeClassifier<Dim>& {
+    if (!nclass_opt) nclass_opt.emplace(forest, ghost);
+    return *nclass_opt;
+  };
+  NodeTable<Dim> tab(stale.size() * 2 + 16);
+  std::vector<std::array<std::int32_t, nc>> stale_ent(stale.size());
+  constexpr std::size_t kCacheBits = 12;
+  std::vector<std::pair<Key, std::int32_t>> front(std::size_t{1} << kCacheBits,
+                                                  {Key{-1, -1, -1, -1}, -1});
+  for (std::size_t s = 0; s < stale.size(); ++s) {
+    const auto& se = stale[s];
+    const NodeClassifier<Dim>& nclass = nclass_get();
+    nclass.seed_hint(se.tree, se.oct);
+    for (int c = 0; c < nc; ++c) {
+      const auto cp = se.oct.corner_point(c);
+      const Key k = nclass.canonical(se.tree, cp);
+      auto& line = front[KeyHash{}(k) & ((std::size_t{1} << kCacheBits) - 1)];
+      std::int32_t ei;
+      if (line.first == k) {
+        ei = line.second;
+      } else {
+        ei = tab.get_or_insert(k);
+        line = {k, ei};
+        auto& e = tab.entries[static_cast<std::size_t>(ei)];
+        if (!e.classified) {
+          e.cls = nclass.classify(se.tree, cp);
+          e.classified = true;
+        }
+      }
+      stale_ent[s][static_cast<std::size_t>(c)] = ei;
+    }
+  }
+  const std::size_t n_pass1 = tab.entries.size();
+
+  // --- New owned set -----------------------------------------------------------
+  // A point's classification depends only on its touching leaves, and a
+  // touching leaf changed iff the point lies in the closed raw delta region
+  // (in some tree frame): old owned nodes outside it survive verbatim. Fresh
+  // candidates come from the stale-element corners. The merged sorted set is
+  // exactly what a full rebuild would own, so the assigned ids coincide.
+  std::vector<Key> survivors;
+  survivors.reserve(old.owned_keys.size());
+  for (const Key& k : old.owned_keys) {
+    if (!point_in_delta(k[0], {k[1], k[2], k[3]})) survivors.push_back(k);
+  }
+  std::vector<Key> cands;
+  for (std::size_t i = 0; i < n_pass1; ++i) {
+    const auto& e = tab.entries[i];
+    if (e.classified && e.cls.independent && e.cls.owner == me) cands.push_back(e.key);
+  }
+  std::sort(cands.begin(), cands.end());
+
+  NodeNumbering<Dim> out;
+  out.owned_keys.reserve(survivors.size() + cands.size());
+  std::merge(survivors.begin(), survivors.end(), cands.begin(), cands.end(),
+             std::back_inserter(out.owned_keys));
+  out.owned_keys.erase(std::unique(out.owned_keys.begin(), out.owned_keys.end()),
+                       out.owned_keys.end());
+  out.num_owned = static_cast<std::int64_t>(out.owned_keys.size());
+  const auto counts = comm.allgather(out.num_owned);
+  out.rank_offsets.assign(static_cast<std::size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) {
+    out.rank_offsets[static_cast<std::size_t>(r) + 1] =
+        out.rank_offsets[static_cast<std::size_t>(r)] + counts[static_cast<std::size_t>(r)];
+  }
+  out.owned_offset = out.rank_offsets[static_cast<std::size_t>(me)];
+  out.num_global = out.rank_offsets[static_cast<std::size_t>(p)];
+
+  std::vector<std::pair<std::int64_t, Key>> known_gid_keys;
+  std::unordered_map<std::int64_t, Key> key_of_gid;
+  for (std::size_t i = 0; i < out.owned_keys.size(); ++i) {
+    const std::int64_t g = out.owned_offset + static_cast<std::int64_t>(i);
+    known_gid_keys.emplace_back(g, out.owned_keys[i]);
+    key_of_gid.emplace(g, out.owned_keys[i]);
+  }
+
+  // --- Old -> new gid remap ----------------------------------------------------
+  // Per-rank id blocks are preserved and the within-rank shift is monotone in
+  // key order (subtract invalidated predecessors, add fresh ones), so the
+  // remap is strictly increasing: spliced sorted-by-gid contribution lists
+  // stay sorted without touching the weights.
+  std::vector<Key> removed_eff, added_eff;
+  std::set_difference(old.owned_keys.begin(), old.owned_keys.end(), out.owned_keys.begin(),
+                      out.owned_keys.end(), std::back_inserter(removed_eff));
+  std::set_difference(out.owned_keys.begin(), out.owned_keys.end(), old.owned_keys.begin(),
+                      old.owned_keys.end(), std::back_inserter(added_eff));
+  const auto removed_all = comm.allgatherv(removed_eff);
+  const auto added_all = comm.allgatherv(added_eff);
+  // Flat memo indexed by old gid: the fill below touches every reused slot's
+  // gids, so the dense array beats a hash map.
+  std::vector<std::int64_t> remap_memo(static_cast<std::size_t>(old.num_global), -1);
+  const auto remap = [&](std::int64_t g) -> std::int64_t {
+    std::int64_t& memo = remap_memo[static_cast<std::size_t>(g)];
+    if (memo >= 0) return memo;
+    const int r = old.owner_of_gid(g);
+    const Key& k = (r == me)
+                       ? old.owned_keys[static_cast<std::size_t>(g - old.owned_offset)]
+                       : old.key_of(g);
+    const auto& rem = removed_all[static_cast<std::size_t>(r)];
+    if (std::binary_search(rem.begin(), rem.end(), k)) {
+      throw std::runtime_error("nodes: reused element references an invalidated node");
+    }
+    const auto& add = added_all[static_cast<std::size_t>(r)];
+    const std::int64_t ng =
+        out.rank_offsets[static_cast<std::size_t>(r)] +
+        (g - old.rank_offsets[static_cast<std::size_t>(r)]) -
+        (std::lower_bound(rem.begin(), rem.end(), k) - rem.begin()) +
+        (std::lower_bound(add.begin(), add.end(), k) - add.begin());
+    memo = ng;
+    known_gid_keys.emplace_back(ng, k);
+    return ng;
+  };
+
+
+  // --- Resolution (patch table only) -------------------------------------------
+  const par::check::RegionGuard owned_guard(comm, out.owned_keys.data(),
+                                            out.owned_keys.size() * sizeof(Key),
+                                            "nodes owned keys (patch)");
+  std::set<std::pair<Key, int>> asked;
+  std::vector<std::vector<KeyMsg>> req(static_cast<std::size_t>(p));
+
+  const auto owned_gid_of = [&](const Key& k) -> std::int64_t {
+    const auto it = std::lower_bound(out.owned_keys.begin(), out.owned_keys.end(), k);
+    if (it == out.owned_keys.end() || !(*it == k)) {
+      throw std::runtime_error("nodes: patched owned key missing from the owned set");
+    }
+    return out.owned_offset + (it - out.owned_keys.begin());
+  };
+  const auto classify_key = [&](std::int32_t ei) {
+    const Key k = tab.entries[static_cast<std::size_t>(ei)].key;
+    auto& e = tab.entries[static_cast<std::size_t>(ei)];
+    e.cls = nclass_get().classify(k[0], {k[1], k[2], k[3]});
+    e.classified = true;
+  };
+
+  // Same memoized expansion as build_batched, with two patch-only twists:
+  // an unclassified key whose routing hint is this rank is classified on the
+  // spot (a full rebuild would have classified it in pass 1 — its
+  // constraining leaf is local, so all touching leaves are known), and an
+  // independent key this rank owns takes its gid straight from the merged
+  // owned set instead of a pre-seeded entry.
+  const auto expand = [&](auto&& self, std::int32_t ei, int hint, bool collect) -> bool {
+    if (!tab.entries[static_cast<std::size_t>(ei)].res.empty()) return true;
+    const auto note = [&](int target) {
+      if (!collect) return;
+      if (target < 0) throw std::runtime_error("nodes: unclassified key without hint");
+      const Key& k = tab.entries[static_cast<std::size_t>(ei)].key;
+      if (asked.insert({k, target}).second) {
+        req[static_cast<std::size_t>(target)].push_back(KeyMsg{k[0], k[1], k[2], k[3]});
+      }
+    };
+    {
+      if (!tab.entries[static_cast<std::size_t>(ei)].classified) {
+        if (hint == me) {
+          classify_key(ei);
+        } else {
+          note(hint);
+          return false;
+        }
+      }
+      const auto& e = tab.entries[static_cast<std::size_t>(ei)];
+      if (e.cls.independent) {
+        if (e.cls.owner == me) {
+          const std::int64_t g = owned_gid_of(e.key);
+          tab.entries[static_cast<std::size_t>(ei)].res.assign(1, Contrib{g, 1.0});
+          return true;
+        }
+        note(e.cls.owner);
+        return false;
+      }
+    }
+    std::array<Key, 4> masters;
+    std::array<int, 4> ask{};
+    std::size_t nm;
+    {
+      const auto& cls = tab.entries[static_cast<std::size_t>(ei)].cls;
+      nm = cls.masters.size();
+      for (std::size_t i = 0; i < nm; ++i) {
+        masters[i] = cls.masters[i];
+        ask[i] = cls.ask[i];
+      }
+    }
+    bool all = true;
+    std::array<std::int32_t, 4> mi;
+    for (std::size_t i = 0; i < nm; ++i) {
+      mi[i] = tab.get_or_insert(masters[i]);
+      if (!self(self, mi[i], ask[i], collect)) all = false;
+    }
+    if (!all) return false;
+    std::vector<Contrib> v;
+    const double w = 1.0 / static_cast<double>(nm);
+    for (std::size_t i = 0; i < nm; ++i) {
+      for (const Contrib& c : tab.entries[static_cast<std::size_t>(mi[i])].res) {
+        bool found = false;
+        for (Contrib& x : v) {
+          if (x.gid == c.gid) {
+            x.weight += w * c.weight;
+            found = true;
+            break;
+          }
+        }
+        if (!found) v.push_back(Contrib{c.gid, w * c.weight});
+      }
+    }
+    std::sort(v.begin(), v.end(), [](const Contrib& a, const Contrib& b) { return a.gid < b.gid; });
+    tab.entries[static_cast<std::size_t>(ei)].res = std::move(v);
+    return true;
+  };
+
+  std::vector<std::int32_t> pending;
+  for (int round = 0;; ++round) {
+    if (round > 64) throw std::runtime_error("nodes: resolution did not converge");
+    std::vector<std::int32_t> still;
+    if (round == 0) {
+      for (std::size_t i = 0; i < n_pass1; ++i) {
+        const auto ei = static_cast<std::int32_t>(i);
+        if (!expand(expand, ei, -1, true)) still.push_back(ei);
+      }
+    } else {
+      for (const std::int32_t ei : pending) {
+        if (!expand(expand, ei, -1, true)) still.push_back(ei);
+      }
+    }
+    pending = std::move(still);
+    const int any =
+        comm.allreduce(static_cast<int>(!pending.empty()), par::ReduceOp::logical_or);
+    if (!any) break;
+
+    ops.nodes_rounds++;
+    for (const auto& buf : req) {
+      if (buf.empty()) continue;
+      ops.nodes_request_batches++;
+      ops.nodes_requests_sent += static_cast<std::int64_t>(buf.size());
+    }
+    const auto req_in = comm.alltoallv(req);
+    for (auto& buf : req) buf.clear();
+
+    std::vector<std::vector<std::int64_t>> ans(static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      auto& buf = ans[static_cast<std::size_t>(src)];
+      for (const KeyMsg& km : req_in[static_cast<std::size_t>(src)]) {
+        const Key k{km.tree, km.x, km.y, km.z};
+        std::int32_t ei = tab.find(k);
+        if (ei < 0) ei = tab.get_or_insert(k);
+        if (!tab.entries[static_cast<std::size_t>(ei)].classified) {
+          // On-demand: a requested key was routed here because this rank owns
+          // the node or its constraining leaf, so the point touches a local
+          // leaf and every touching leaf is in local+ghost storage.
+          classify_key(ei);
+        }
+        buf.insert(buf.end(), {km.tree, km.x, km.y, km.z});
+        if (expand(expand, ei, -1, false)) {
+          const auto& v = tab.entries[static_cast<std::size_t>(ei)].res;
+          buf.push_back(kRecExpansion);
+          buf.push_back(static_cast<std::int64_t>(v.size()));
+          for (const Contrib& c : v) {
+            const Key& ck = key_of_gid.at(c.gid);
+            buf.insert(buf.end(),
+                       {c.gid, std::bit_cast<std::int64_t>(c.weight), ck[0], ck[1], ck[2], ck[3]});
+          }
+        } else {
+          const auto& cls = tab.entries[static_cast<std::size_t>(ei)].cls;
+          if (cls.independent) {
+            buf.push_back(kRecOwner);
+            buf.push_back(cls.owner);
+          } else {
+            buf.push_back(kRecMasters);
+            buf.push_back(static_cast<std::int64_t>(cls.masters.size()));
+            for (std::size_t i = 0; i < cls.masters.size(); ++i) {
+              const Key& m = cls.masters[i];
+              buf.insert(buf.end(), {m[0], m[1], m[2], m[3], cls.ask[i]});
+            }
+          }
+        }
+      }
+    }
+    const auto ans_in = comm.alltoallv(ans);
+    for (const auto& from : ans_in) {
+      for (std::size_t i = 0; i < from.size();) {
+        const Key k{static_cast<std::int32_t>(from[i]), static_cast<std::int32_t>(from[i + 1]),
+                    static_cast<std::int32_t>(from[i + 2]), static_cast<std::int32_t>(from[i + 3])};
+        const std::int64_t kind = from[i + 4];
+        const std::int64_t n = from[i + 5];
+        i += 6;
+        ops.nodes_answers_recv++;
+        const std::int32_t ei = tab.get_or_insert(k);
+        if (kind == kRecExpansion) {
+          std::vector<Contrib> v;
+          v.reserve(static_cast<std::size_t>(n));
+          for (std::int64_t e = 0; e < n; ++e) {
+            const std::int64_t gid = from[i];
+            const double w = std::bit_cast<double>(from[i + 1]);
+            const Key ck{static_cast<std::int32_t>(from[i + 2]),
+                         static_cast<std::int32_t>(from[i + 3]),
+                         static_cast<std::int32_t>(from[i + 4]),
+                         static_cast<std::int32_t>(from[i + 5])};
+            i += 6;
+            v.push_back(Contrib{gid, w});
+            const std::int32_t ci = tab.get_or_insert(ck);
+            auto& ce = tab.entries[static_cast<std::size_t>(ci)];
+            if (ce.res.empty()) ce.res.assign(1, Contrib{gid, 1.0});
+            known_gid_keys.emplace_back(gid, ck);
+            key_of_gid.emplace(gid, ck);
+          }
+          tab.entries[static_cast<std::size_t>(ei)].res = std::move(v);
+        } else if (kind == kRecOwner) {
+          auto& e = tab.entries[static_cast<std::size_t>(ei)];
+          e.cls = Classification<Dim>{};
+          e.cls.independent = true;
+          e.cls.owner = static_cast<int>(n);
+          e.classified = true;
+        } else {
+          auto& e = tab.entries[static_cast<std::size_t>(ei)];
+          e.cls = Classification<Dim>{};
+          e.cls.independent = false;
+          for (std::int64_t rec = 0; rec < n; ++rec) {
+            e.cls.masters.push_back(Key{static_cast<std::int32_t>(from[i]),
+                                        static_cast<std::int32_t>(from[i + 1]),
+                                        static_cast<std::int32_t>(from[i + 2]),
+                                        static_cast<std::int32_t>(from[i + 3])});
+            e.cls.ask.push_back(static_cast<int>(from[i + 4]));
+            i += 5;
+          }
+          e.classified = true;
+        }
+      }
+    }
+  }
+
+
+  // --- Fill per-element slots ---------------------------------------------------
+  out.elements.resize(n_local);
+  for (std::size_t li = 0; li < n_local; ++li) {
+    const std::int64_t ol = old_of[li];
+    if (ol < 0) continue;
+    for (int c = 0; c < nc; ++c) {
+      auto& slot = out.elements[li][static_cast<std::size_t>(c)];
+      slot = std::move(old.elements[static_cast<std::size_t>(ol)][static_cast<std::size_t>(c)]);
+      for (Contrib& cb : slot) cb.gid = remap(cb.gid);
+    }
+  }
+  for (std::size_t s = 0; s < stale.size(); ++s) {
+    const auto li = static_cast<std::size_t>(stale[s].li);
+    for (int c = 0; c < nc; ++c) {
+      out.elements[li][static_cast<std::size_t>(c)] =
+          tab.entries[static_cast<std::size_t>(stale_ent[s][static_cast<std::size_t>(c)])].res;
+    }
+  }
+  // gid -> key records: owned + patch-fetched + remap-recorded covers exactly
+  // the gids referenced by the element slots, same as a full rebuild.
+  std::sort(known_gid_keys.begin(), known_gid_keys.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  known_gid_keys.erase(std::unique(known_gid_keys.begin(), known_gid_keys.end(),
+                                   [](const auto& a, const auto& b) { return a.first == b.first; }),
+                       known_gid_keys.end());
+  out.gid_keys = std::move(known_gid_keys);
+  return out;
+}
+
+template <int Dim>
+const NodeNumbering<Dim>& NodeNumbering<Dim>::build_incremental(const Forest<Dim>& forest,
+                                                                const GhostLayer<Dim>& ghost,
+                                                                DeltaSet<Dim>& delta,
+                                                                NodesCache<Dim>& cache) {
+  par::Comm& comm = forest.comm();
+  const char* ref = std::getenv("ESAMR_NODES_REFERENCE");
+  const bool bad_local = !incremental_enabled() || (ref != nullptr && ref[0] == '1') ||
+                         !cache.valid || delta.overflow || cache.markers != forest.markers();
+  if (comm.allreduce(static_cast<int>(bad_local), par::ReduceOp::logical_or) != 0) {
+    cache.numbering = build(forest, ghost);
+  } else {
+    cache.numbering = patch_batched<Dim>(forest, ghost, delta, cache);
+  }
+  cache.markers = forest.markers();
+  cache.leaves.assign(static_cast<std::size_t>(forest.num_trees()), {});
+  for (int t = 0; t < forest.num_trees(); ++t) {
+    cache.leaves[static_cast<std::size_t>(t)] = forest.tree(t);
+  }
+  cache.valid = true;
+  return cache.numbering;
 }
 
 // ---------------------------------------------------------------------------

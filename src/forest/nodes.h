@@ -17,10 +17,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "forest/delta.h"
 #include "forest/forest.h"
 #include "forest/ghost.h"
 
 namespace esamr::forest {
+
+template <int Dim>
+struct NodeNumbering;
+
+/// State carried between adapt steps by the incremental node-table path: the
+/// partition fingerprint and leaf snapshot the numbering was built against,
+/// plus the numbering itself (patched in place by build_incremental).
+template <int Dim>
+struct NodesCache {
+  std::vector<SfcPosition> markers;
+  std::vector<std::vector<Octant<Dim>>> leaves;
+  NodeNumbering<Dim> numbering;
+  bool valid = false;
+};
 
 template <int Dim>
 struct NodeNumbering {
@@ -66,6 +81,20 @@ struct NodeNumbering {
 
   /// Build the numbering for a 2:1-balanced forest with its ghost layer.
   static NodeNumbering build(const Forest<Dim>& forest, const GhostLayer<Dim>& ghost);
+
+  /// Incremental build after a tracked adapt step (collective). Instead of
+  /// re-classifying every element corner, only elements overlapping the delta
+  /// regions widened by a fixed number of insulation rings are re-classified;
+  /// owned nodes whose every touching leaf is unchanged survive with their
+  /// relative order intact, so spliced contribution lists only need a
+  /// monotone gid remap. The result — ids included — is identical to a full
+  /// build() on the new forest. Falls back to build() (and recaptures the
+  /// cache) when the cache is invalid, the partition changed, the delta
+  /// overflowed, ESAMR_INCR=0, or ESAMR_NODES_REFERENCE=1; the decision is
+  /// collective. Returns the numbering now held by `cache`.
+  static const NodeNumbering& build_incremental(const Forest<Dim>& forest,
+                                                const GhostLayer<Dim>& ghost,
+                                                DeltaSet<Dim>& delta, NodesCache<Dim>& cache);
 };
 
 extern template struct NodeNumbering<2>;

@@ -21,6 +21,10 @@ OpStats& OpStats::operator+=(const OpStats& o) {
   nodes_answers_recv += o.nodes_answers_recv;
   ghost_octants_sent += o.ghost_octants_sent;
   ghost_interior_skipped += o.ghost_interior_skipped;
+  delta_octants += o.delta_octants;
+  nodes_patched += o.nodes_patched;
+  nodes_reused += o.nodes_reused;
+  ckpt_delta_bytes += o.ckpt_delta_bytes;
   return *this;
 }
 

@@ -37,6 +37,12 @@ struct OpStats {
   std::int64_t ghost_octants_sent = 0;
   std::int64_t ghost_interior_skipped = 0;   ///< leaves skipped by the insulation fast path
 
+  // Incremental adapt (delta balance / node-table patching / delta ckpts).
+  std::int64_t delta_octants = 0;            ///< delta regions driving an incremental step
+  std::int64_t nodes_patched = 0;            ///< elements reclassified by the patch path
+  std::int64_t nodes_reused = 0;             ///< elements spliced from the cached numbering
+  std::int64_t ckpt_delta_bytes = 0;         ///< bytes committed as delta checkpoints
+
   OpStats& operator+=(const OpStats& o);
   void reset() { *this = OpStats{}; }
 };

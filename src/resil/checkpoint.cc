@@ -8,6 +8,9 @@
 #include <cstring>
 #include <filesystem>
 
+#include <array>
+
+#include "forest/stats.h"
 #include "io/checked_file.h"
 #include "par/inject.h"
 #include "resil/crc32c.h"
@@ -51,8 +54,23 @@ static_assert(sizeof(SectionDesc) == 48 && std::is_trivially_copyable_v<SectionD
 struct Image {
   std::uint64_t step = 0;
   std::int64_t bytes_read = 0;
+  std::uint32_t header_crc = 0;         ///< this file's header CRC (chain link)
   std::vector<forest::OctMsg> octants;  ///< global SFC sequence
   std::vector<NamedField> fields;       ///< global (all-octant) data
+};
+
+/// Fully validated in-memory delta checkpoint (rank 0 only). `octants` holds
+/// the leaves inside the delta regions at write time; `fields` their values.
+struct DeltaImage {
+  std::uint64_t step = 0;
+  std::int64_t bytes_read = 0;
+  std::uint32_t header_crc = 0;
+  std::uint64_t base_seq = 0;  ///< seq of the full-snapshot anchor
+  std::uint64_t prev_seq = 0;  ///< seq of the immediate predecessor entry
+  std::uint64_t prev_crc = 0;  ///< predecessor's header CRC
+  std::vector<forest::OctMsg> regions;
+  std::vector<forest::OctMsg> octants;
+  std::vector<NamedField> fields;
 };
 
 [[noreturn]] void corrupt(const std::string& path, const std::string& what) {
@@ -133,6 +151,7 @@ Image load_image(const std::string& path, int dim, std::uint64_t conn_id, int nu
   Image img;
   img.step = h.step;
   img.bytes_read = fsize;
+  img.header_crc = h.header_crc;
   bool have_ranges = false, have_octants = false;
   std::vector<std::uint64_t> writer_counts;
   for (const SectionDesc& d : descs) {
@@ -182,6 +201,163 @@ Image load_image(const std::string& path, int dim, std::uint64_t conn_id, int nu
   for (const std::uint64_t c : writer_counts) total += c;
   if (total != h.num_octants) corrupt(path, "'ranges' does not sum to the octant count");
   return img;
+}
+
+/// Read and CRC-validate a delta checkpoint on the calling rank. Shares the
+/// container format with full snapshots; the payload is the "dmeta" chain
+/// link, the replicated delta regions, the leaves inside them, and the field
+/// values on exactly those leaves.
+DeltaImage load_delta_image(const std::string& path, int dim, std::uint64_t conn_id,
+                            int num_trees) {
+  io::CheckedFile fp(path, "rb");
+  const long fsize = fp.size();
+  if (fsize < static_cast<long>(sizeof(Header))) corrupt(path, "file shorter than header");
+
+  Header h{};
+  fp.read_exact(&h, sizeof(h));
+  if (std::memcmp(h.magic, magic_bytes, sizeof(magic_bytes)) != 0) corrupt(path, "bad magic");
+  if (crc32c(&h, header_crc_span) != h.header_crc) corrupt(path, "header CRC mismatch");
+  if (h.version != checkpoint_format_version) {
+    throw std::runtime_error("checkpoint " + path + ": unsupported format version " +
+                             std::to_string(h.version));
+  }
+  if (h.dim != static_cast<std::uint32_t>(dim) ||
+      h.num_trees != static_cast<std::uint32_t>(num_trees) || h.conn_id != conn_id) {
+    throw std::runtime_error("checkpoint " + path +
+                             ": snapshot does not match this forest (dim/trees/connectivity)");
+  }
+
+  std::vector<SectionDesc> descs(h.num_sections);
+  fp.read_exact(descs.data(), descs.size() * sizeof(SectionDesc));
+  const std::uint64_t data_start = sizeof(Header) + descs.size() * sizeof(SectionDesc);
+
+  DeltaImage img;
+  img.step = h.step;
+  img.bytes_read = fsize;
+  img.header_crc = h.header_crc;
+  bool have_meta = false, have_regions = false, have_octants = false;
+  for (const SectionDesc& d : descs) {
+    const std::string name(d.name, strnlen(d.name, sizeof(d.name)));
+    if (d.offset < data_start || d.offset + d.nbytes > static_cast<std::uint64_t>(fsize)) {
+      corrupt(path, "section '" + name + "' extends past end of file");
+    }
+    std::vector<std::byte> buf(d.nbytes);
+    fp.seek(static_cast<long>(d.offset));
+    fp.read_exact(buf.data(), buf.size());
+    const std::uint32_t got = crc32c(buf.data(), buf.size());
+    if (got != d.crc) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "CRC mismatch in section '%s' at offset %llu (stored 0x%08x, computed 0x%08x)",
+                    name.c_str(), static_cast<unsigned long long>(d.offset), d.crc, got);
+      corrupt(path, msg);
+    }
+    if (name == "dmeta") {
+      if (d.nbytes != 3 * sizeof(std::uint64_t)) corrupt(path, "'dmeta' section has wrong size");
+      std::uint64_t m[3];
+      std::memcpy(m, buf.data(), sizeof(m));
+      img.base_seq = m[0];
+      img.prev_seq = m[1];
+      img.prev_crc = m[2];
+      have_meta = true;
+    } else if (name == "dregions") {
+      if (d.nbytes % sizeof(forest::OctMsg) != 0) {
+        corrupt(path, "'dregions' section size is not a whole record count");
+      }
+      img.regions.resize(d.nbytes / sizeof(forest::OctMsg));
+      std::memcpy(img.regions.data(), buf.data(), buf.size());
+      have_regions = true;
+    } else if (name == "doctants") {
+      if (d.nbytes != h.num_octants * sizeof(forest::OctMsg)) {
+        corrupt(path, "'doctants' section size does not match octant count");
+      }
+      img.octants.resize(h.num_octants);
+      std::memcpy(img.octants.data(), buf.data(), buf.size());
+      have_octants = true;
+    } else {
+      if (d.aux == 0 || d.nbytes != h.num_octants * d.aux * sizeof(double)) {
+        corrupt(path, "field section '" + name + "' has inconsistent size");
+      }
+      NamedField f;
+      f.name = name;
+      f.per_oct = static_cast<int>(d.aux);
+      f.data.resize(h.num_octants * d.aux);
+      std::memcpy(f.data.data(), buf.data(), buf.size());
+      img.fields.push_back(std::move(f));
+    }
+  }
+  if (!have_meta || !have_regions || !have_octants) {
+    corrupt(path, "missing 'dmeta', 'dregions' or 'doctants' section");
+  }
+  return img;
+}
+
+/// The header CRC of an existing ring entry (the chain link the next delta
+/// must carry). False when the file cannot be read or its header is bad.
+bool peek_header_crc(const std::string& path, std::uint32_t& out) {
+  try {
+    io::CheckedFile fp(path, "rb");
+    if (fp.size() < static_cast<long>(sizeof(Header))) return false;
+    Header h{};
+    fp.read_exact(&h, sizeof(h));
+    if (std::memcmp(h.magic, magic_bytes, sizeof(magic_bytes)) != 0) return false;
+    if (crc32c(&h, header_crc_span) != h.header_crc) return false;
+    out = h.header_crc;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Rank-0 atomic publish with write-then-reread-verify, shared by the full
+/// and delta writers: assemble under a temp name via `write_body`, reread the
+/// temp through `verify` (which must throw on bad bytes — the same CRC
+/// validation restore uses), and only then rename over the target. Injected
+/// disk faults (torn tail, truncation, transient EIO) are keyed on
+/// (seed, step, attempt), so each retry draws a fresh hash and the bounded
+/// loop converges; persistent failure throws CheckpointCorrupt.
+template <typename WriteBody, typename Verify>
+void publish_verified(const std::string& path, std::uint64_t step, const par::InjectConfig& inj,
+                      WriteBody&& write_body, Verify&& verify) {
+  const std::string tmp = path + ".tmp";
+  constexpr int max_write_attempts = 5;
+  for (int attempt = 0;; ++attempt) {
+    const auto fault = par::detail::disk_fault(inj, step, static_cast<std::uint64_t>(attempt));
+    if (fault == par::detail::DiskFault::eio) {
+      // The device refused the write; nothing was committed this attempt.
+      ++g_eio;
+      if (attempt + 1 >= max_write_attempts) {
+        corrupt(path, "persistent EIO while writing snapshot");
+      }
+      ++g_write_retries;
+      continue;
+    }
+    {
+      io::CheckedFile fp(tmp, "wb");
+      write_body(fp);
+      fp.close();
+    }
+    if (fault != par::detail::DiskFault::none) {
+      apply_disk_fault(tmp, fault, inj.seed, step, static_cast<std::uint64_t>(attempt));
+    }
+    try {
+      verify(tmp);
+      break;  // the bytes on disk round-trip every CRC: safe to publish
+    } catch (const std::runtime_error&) {
+      // CheckpointCorrupt or a short read: the attempt's bytes are bad.
+      ++g_verify_failures;
+      if (attempt + 1 >= max_write_attempts) {
+        std::remove(tmp.c_str());
+        corrupt(path, "write verification failed after " + std::to_string(max_write_attempts) +
+                          " attempts");
+      }
+      ++g_write_retries;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint publish: cannot rename " + tmp + " to " + path);
+  }
+  ++g_commits;
 }
 
 /// Pack restore metadata (step, bytes, field names/widths) for the bcast
@@ -426,55 +602,16 @@ void write_checkpoint(const forest::Forest<Dim>& f, std::uint64_t conn_id, std::
           static_cast<std::uint32_t>(fields[i].per_oct));
     }
 
-    // Atomic publish with write-then-reread-verify: assemble under a temp
-    // name, reread it through the same CRC validation restore uses, and only
-    // then rename over the target. Injected disk faults (torn tail,
-    // truncation, transient EIO) are keyed on (seed, step, attempt), so each
-    // retry draws a fresh hash and the bounded loop converges.
-    const std::string tmp = path + ".tmp";
-    const par::InjectConfig& inj = comm.inject_config();
-    constexpr int max_write_attempts = 5;
-    for (int attempt = 0;; ++attempt) {
-      const auto fault = par::detail::disk_fault(inj, step, static_cast<std::uint64_t>(attempt));
-      if (fault == par::detail::DiskFault::eio) {
-        // The device refused the write; nothing was committed this attempt.
-        ++g_eio;
-        if (attempt + 1 >= max_write_attempts) {
-          corrupt(path, "persistent EIO while writing snapshot");
-        }
-        ++g_write_retries;
-        continue;
-      }
-      {
-        io::CheckedFile fp(tmp, "wb");
-        fp.write(&h, sizeof(h));
-        fp.write(descs.data(), descs.size() * sizeof(SectionDesc));
-        fp.write(counts.data(), counts.size() * sizeof(std::uint64_t));
-        fp.write(octants.data(), octants.size() * sizeof(forest::OctMsg));
-        for (const auto& fd : field_data) fp.write(fd.data(), fd.size() * sizeof(double));
-        fp.close();
-      }
-      if (fault != par::detail::DiskFault::none) {
-        apply_disk_fault(tmp, fault, inj.seed, step, static_cast<std::uint64_t>(attempt));
-      }
-      try {
-        load_image(tmp, Dim, conn_id, f.num_trees());
-        break;  // the bytes on disk round-trip every CRC: safe to publish
-      } catch (const std::runtime_error&) {
-        // CheckpointCorrupt or a short read: the attempt's bytes are bad.
-        ++g_verify_failures;
-        if (attempt + 1 >= max_write_attempts) {
-          std::remove(tmp.c_str());
-          corrupt(path, "write verification failed after " +
-                            std::to_string(max_write_attempts) + " attempts");
-        }
-        ++g_write_retries;
-      }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      throw std::runtime_error("write_checkpoint: cannot rename " + tmp + " to " + path);
-    }
-    ++g_commits;
+    publish_verified(
+        path, step, comm.inject_config(),
+        [&](io::CheckedFile& fp) {
+          fp.write(&h, sizeof(h));
+          fp.write(descs.data(), descs.size() * sizeof(SectionDesc));
+          fp.write(counts.data(), counts.size() * sizeof(std::uint64_t));
+          fp.write(octants.data(), octants.size() * sizeof(forest::OctMsg));
+          for (const auto& fd : field_data) fp.write(fd.data(), fd.size() * sizeof(double));
+        },
+        [&](const std::string& tmp) { load_image(tmp, Dim, conn_id, f.num_trees()); });
   }
   comm.barrier();  // checkpoint completion is a collective postcondition
 }
@@ -496,7 +633,8 @@ std::vector<std::string> CheckpointRing::entries() const {
   std::vector<fs::path> found;
   for (const auto& e : fs::directory_iterator(dir_)) {
     const fs::path& p = e.path();
-    if (p.extension() == ".esnap" && p.stem().string().rfind("ckpt-", 0) == 0) {
+    if ((p.extension() == ".esnap" || p.extension() == ".edelta") &&
+        p.stem().string().rfind("ckpt-", 0) == 0) {
       found.push_back(p);
     }
   }
@@ -506,6 +644,10 @@ std::vector<std::string> CheckpointRing::entries() const {
   out.reserve(found.size());
   for (const auto& p : found) out.push_back(p.string());
   return out;
+}
+
+bool CheckpointRing::is_delta(const std::string& path) {
+  return fs::path(path).extension() == ".edelta";
 }
 
 std::string CheckpointRing::newest() const {
@@ -521,6 +663,14 @@ std::string CheckpointRing::next_path() const {
   return (fs::path(dir_) / name).string();
 }
 
+std::string CheckpointRing::next_delta_path() const {
+  const auto all = entries();
+  const std::uint64_t seq = all.empty() ? 0 : parse_seq(fs::path(all.back())) + 1;
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%08llu.edelta", static_cast<unsigned long long>(seq));
+  return (fs::path(dir_) / name).string();
+}
+
 void CheckpointRing::quarantine_newest() {
   const std::string p = newest();
   if (p.empty()) return;
@@ -528,10 +678,17 @@ void CheckpointRing::quarantine_newest() {
 }
 
 void CheckpointRing::prune() {
-  auto all = entries();
-  while (static_cast<int>(all.size()) > keep_) {
-    fs::remove(all.front());
-    all.erase(all.begin());
+  const auto all = entries();
+  // The newest full snapshot anchors the live delta chain: neither it nor
+  // anything newer may be pruned, or restore_latest_chain loses its base.
+  std::size_t protect = all.size();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!is_delta(all[i])) protect = i;
+  }
+  std::size_t first = 0;
+  while (static_cast<int>(all.size() - first) > keep_ && first < protect) {
+    fs::remove(all[first]);
+    ++first;
   }
 }
 
@@ -583,6 +740,319 @@ Restored<Dim> restore_latest(par::Comm& comm, const forest::Connectivity<Dim>& c
   }
   if (status == 2) {
     throw CheckpointCorrupt(comm.rank() == 0 ? err : "no ring entry passed CRC validation");
+  }
+  return distribute<Dim>(comm, conn, std::move(img));
+}
+
+namespace {
+
+/// Replay one validated delta on top of the in-memory base image: drop every
+/// base octant covered by a delta region, then merge the delta's leaves (and
+/// their field values) back in by (tree, SFC) order. The writer guarantees a
+/// delta's leaves are exactly the current leaves inside its regions, so the
+/// merge result is the full leaf sequence at the delta's step.
+template <int Dim>
+void apply_delta(Image& img, const DeltaImage& d, int num_trees, const std::string& path) {
+  using Oct = forest::Octant<Dim>;
+  const auto to_oct = [](const forest::OctMsg& m) {
+    Oct o;
+    o.x = m.x;
+    o.y = m.y;
+    if constexpr (Dim == 3) o.z = m.z;
+    o.level = static_cast<std::int8_t>(m.level);
+    return o;
+  };
+  std::vector<std::vector<Oct>> reg(static_cast<std::size_t>(num_trees));
+  for (const forest::OctMsg& m : d.regions) {
+    if (m.tree < 0 || m.tree >= num_trees) corrupt(path, "delta region outside the connectivity");
+    reg[static_cast<std::size_t>(m.tree)].push_back(to_oct(m));
+  }
+  for (auto& v : reg) std::sort(v.begin(), v.end());
+  const auto covered = [&](const forest::OctMsg& m) {
+    if (m.tree < 0 || m.tree >= num_trees) {
+      corrupt(path, "base octant names a tree outside the connectivity");
+    }
+    const auto& v = reg[static_cast<std::size_t>(m.tree)];
+    const Oct o = to_oct(m);
+    const auto it = std::upper_bound(v.begin(), v.end(), o);
+    if (it != v.end() && o.contains(*it) && o.level < it->level) {
+      // A base leaf strictly coarser than a recorded region means the
+      // writer's change tracking missed a refinement under it.
+      corrupt(path, "delta region finer than a base leaf (incomplete tracking)");
+    }
+    return it != v.begin() && std::prev(it)->contains(o);
+  };
+
+  if (img.fields.size() != d.fields.size()) {
+    corrupt(path, "delta field set does not match the base snapshot");
+  }
+  for (std::size_t i = 0; i < d.fields.size(); ++i) {
+    if (img.fields[i].name != d.fields[i].name ||
+        img.fields[i].per_oct != d.fields[i].per_oct) {
+      corrupt(path, "delta field '" + d.fields[i].name + "' does not match the base snapshot");
+    }
+  }
+
+  std::vector<forest::OctMsg> merged;
+  merged.reserve(img.octants.size() + d.octants.size());
+  std::vector<std::vector<double>> mdata(img.fields.size());
+  const auto less_msg = [&](const forest::OctMsg& a, const forest::OctMsg& b) {
+    if (a.tree != b.tree) return a.tree < b.tree;
+    return to_oct(a) < to_oct(b);
+  };
+  const auto take = [&](const std::vector<forest::OctMsg>& oct,
+                        const std::vector<NamedField>& flds, std::size_t i) {
+    merged.push_back(oct[i]);
+    for (std::size_t fi = 0; fi < flds.size(); ++fi) {
+      const auto w = static_cast<std::size_t>(flds[fi].per_oct);
+      mdata[fi].insert(mdata[fi].end(),
+                       flds[fi].data.begin() + static_cast<std::ptrdiff_t>(i * w),
+                       flds[fi].data.begin() + static_cast<std::ptrdiff_t>((i + 1) * w));
+    }
+  };
+  std::size_t ib = 0, id = 0;
+  while (ib < img.octants.size() || id < d.octants.size()) {
+    if (ib < img.octants.size() && covered(img.octants[ib])) {
+      ++ib;  // replaced by the delta's view of this region
+      continue;
+    }
+    const bool take_delta = id < d.octants.size() &&
+                            (ib >= img.octants.size() ||
+                             less_msg(d.octants[id], img.octants[ib]));
+    if (take_delta) {
+      take(d.octants, d.fields, id);
+      ++id;
+    } else {
+      take(img.octants, img.fields, ib);
+      ++ib;
+    }
+  }
+  img.octants = std::move(merged);
+  for (std::size_t fi = 0; fi < img.fields.size(); ++fi) {
+    img.fields[fi].data = std::move(mdata[fi]);
+  }
+}
+
+}  // namespace
+
+template <int Dim>
+void write_delta_checkpoint_ring(const forest::Forest<Dim>& f, std::uint64_t conn_id,
+                                 std::uint64_t step, const std::vector<NamedField>& fields,
+                                 forest::DeltaSet<Dim>& delta, CheckpointRing& ring) {
+  using Oct = forest::Octant<Dim>;
+  par::Comm& comm = f.comm();
+  const auto n_local = static_cast<std::size_t>(f.num_local());
+  for (const NamedField& fld : fields) {
+    if (fld.name.empty() || fld.name == "dmeta" || fld.name == "dregions" ||
+        fld.name == "doctants" || fld.name == "ranges" || fld.name == "octants" ||
+        fld.name.size() > max_section_name) {
+      throw std::runtime_error("write_delta_checkpoint_ring: bad field name '" + fld.name + "'");
+    }
+    if (fld.per_oct <= 0 || fld.data.size() != n_local * static_cast<std::size_t>(fld.per_oct)) {
+      throw std::runtime_error("write_delta_checkpoint_ring: field '" + fld.name +
+                               "' size does not match the local forest");
+    }
+  }
+
+  // Rank 0 looks up the chain anchor (the newest full snapshot) and the
+  // predecessor link; the go/no-go decision is collective so every rank
+  // takes the same branch.
+  std::array<std::uint64_t, 4> link{0, 0, 0, 0};  // has_anchor, base, prev, prev_crc
+  if (comm.rank() == 0) {
+    const auto paths = ring.entries();
+    std::string anchor;
+    for (const auto& p : paths) {
+      if (!CheckpointRing::is_delta(p)) anchor = p;
+    }
+    if (!anchor.empty()) {
+      std::uint32_t crc = 0;
+      if (peek_header_crc(paths.back(), crc)) {
+        link = {1, parse_seq(fs::path(anchor)), parse_seq(fs::path(paths.back())), crc};
+      }
+    }
+  }
+  link = comm.bcast(link, 0);
+  const bool want_full = link[0] == 0 || delta.overflow || !forest::incremental_enabled();
+  if (comm.allreduce(static_cast<int>(want_full), par::ReduceOp::logical_or) != 0) {
+    write_checkpoint_ring<Dim>(f, conn_id, step, fields, ring);
+    return;
+  }
+
+  forest::DeltaSet<Dim> global = delta.replicated(comm);
+  if (global.regions.size() != static_cast<std::size_t>(f.num_trees())) {
+    throw std::runtime_error("write_delta_checkpoint_ring: delta tree count mismatch");
+  }
+
+  // Local leaves inside the replicated regions, in local SFC order — the
+  // rank concatenation below is therefore the global SFC order — plus the
+  // field values on exactly those leaves.
+  std::vector<forest::OctMsg> doct;
+  std::vector<std::vector<double>> dvals(fields.size());
+  std::size_t tree_base = 0;
+  for (int t = 0; t < f.num_trees(); ++t) {
+    const std::vector<Oct>& leaves = f.tree(t);
+    for (const Oct& r : global.regions[static_cast<std::size_t>(t)]) {
+      const auto [lo, hi] = forest::overlapping_range<Dim>(leaves, r);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Oct& o = leaves[i];
+        if (!r.contains(o)) {
+          // A leaf coarser than a region it overlaps means change tracking
+          // missed a coarsening: the delta cannot represent this step.
+          throw std::runtime_error(
+              "write_delta_checkpoint_ring: leaf coarser than its delta region");
+        }
+        doct.push_back(forest::OctMsg{t, o.x, o.y, Dim == 3 ? o.z : 0, o.level});
+        const std::size_t li = tree_base + i;
+        for (std::size_t fi = 0; fi < fields.size(); ++fi) {
+          const auto w = static_cast<std::size_t>(fields[fi].per_oct);
+          dvals[fi].insert(dvals[fi].end(),
+                           fields[fi].data.begin() + static_cast<std::ptrdiff_t>(li * w),
+                           fields[fi].data.begin() + static_cast<std::ptrdiff_t>((li + 1) * w));
+        }
+      }
+    }
+    tree_base += leaves.size();
+  }
+
+  const auto oct_parts = comm.allgatherv(doct);
+  std::vector<std::vector<std::vector<double>>> field_parts;
+  field_parts.reserve(fields.size());
+  for (const auto& dv : dvals) field_parts.push_back(comm.allgatherv(dv));
+
+  if (comm.rank() == 0) {
+    std::vector<forest::OctMsg> octants;
+    for (const auto& part : oct_parts) octants.insert(octants.end(), part.begin(), part.end());
+    std::vector<forest::OctMsg> regions;
+    for (int t = 0; t < f.num_trees(); ++t) {
+      for (const Oct& r : global.regions[static_cast<std::size_t>(t)]) {
+        regions.push_back(forest::OctMsg{t, r.x, r.y, Dim == 3 ? r.z : 0, r.level});
+      }
+    }
+    const std::uint64_t dmeta[3] = {link[1], link[2], link[3]};
+
+    Header h{};
+    std::memcpy(h.magic, magic_bytes, sizeof(magic_bytes));
+    h.version = checkpoint_format_version;
+    h.dim = Dim;
+    h.writer_ranks = static_cast<std::uint32_t>(comm.size());
+    h.num_trees = static_cast<std::uint32_t>(f.num_trees());
+    h.conn_id = conn_id;
+    h.num_octants = octants.size();
+    h.step = step;
+    h.num_sections = static_cast<std::uint32_t>(3 + fields.size());
+    h.header_crc = crc32c(&h, header_crc_span);
+
+    std::vector<std::vector<double>> field_data;
+    for (const auto& parts : field_parts) {
+      std::vector<double> all;
+      for (const auto& part : parts) all.insert(all.end(), part.begin(), part.end());
+      field_data.push_back(std::move(all));
+    }
+
+    std::vector<SectionDesc> descs;
+    std::uint64_t offset = sizeof(Header) + h.num_sections * sizeof(SectionDesc);
+    const auto add = [&](const std::string& name, const void* data, std::uint64_t nbytes,
+                         std::uint32_t aux) {
+      descs.push_back(make_desc(name, offset, data, nbytes, aux));
+      offset += nbytes;
+    };
+    add("dmeta", dmeta, sizeof(dmeta), 0);
+    add("dregions", regions.data(), regions.size() * sizeof(forest::OctMsg), 0);
+    add("doctants", octants.data(), octants.size() * sizeof(forest::OctMsg), 0);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      add(fields[i].name, field_data[i].data(), field_data[i].size() * sizeof(double),
+          static_cast<std::uint32_t>(fields[i].per_oct));
+    }
+
+    const std::string path = ring.next_delta_path();
+    publish_verified(
+        path, step, comm.inject_config(),
+        [&](io::CheckedFile& fp) {
+          fp.write(&h, sizeof(h));
+          fp.write(descs.data(), descs.size() * sizeof(SectionDesc));
+          fp.write(dmeta, sizeof(dmeta));
+          fp.write(regions.data(), regions.size() * sizeof(forest::OctMsg));
+          fp.write(octants.data(), octants.size() * sizeof(forest::OctMsg));
+          for (const auto& fd : field_data) fp.write(fd.data(), fd.size() * sizeof(double));
+        },
+        [&](const std::string& tmp) { load_delta_image(tmp, Dim, conn_id, f.num_trees()); });
+    forest::op_stats().ckpt_delta_bytes += static_cast<std::int64_t>(fs::file_size(path));
+    ring.prune();
+  }
+  comm.barrier();  // checkpoint completion is a collective postcondition
+}
+
+template <int Dim>
+Restored<Dim> restore_latest_chain(par::Comm& comm, const forest::Connectivity<Dim>& conn,
+                                   std::uint64_t conn_id, CheckpointRing& ring, int* fallbacks) {
+  // Rank 0 finds the newest full snapshot that validates (quarantining
+  // corrupt ones), then replays the delta chain above it in sequence order.
+  // The chain stops at the first corrupt delta (quarantined) or broken
+  // (base, prev, prev-CRC) link — later deltas are orphaned and the state
+  // restored is the longest valid prefix.
+  Image img;
+  std::uint64_t status = 1;  // 0 = ok, 1 = empty ring, 2 = no valid full snapshot
+  std::string err;
+  int falls = 0;
+  if (comm.rank() == 0) {
+    for (;;) {
+      const auto paths = ring.entries();
+      std::string anchor;
+      for (const auto& p : paths) {
+        if (!CheckpointRing::is_delta(p)) anchor = p;
+      }
+      if (anchor.empty()) {
+        if (paths.empty() && err.empty()) {
+          err = "checkpoint ring empty: " + ring.dir();
+        } else {
+          status = 2;
+          if (err.empty()) err = "no full snapshot in ring: " + ring.dir();
+        }
+        break;
+      }
+      try {
+        img = load_image(anchor, Dim, conn_id, conn.num_trees());
+      } catch (const CheckpointCorrupt& e) {
+        err = e.what();
+        fs::rename(anchor, anchor + ".bad");
+        ++falls;
+        continue;  // fall back to the next-older full snapshot
+      }
+      status = 0;
+      const std::uint64_t anchor_seq = parse_seq(fs::path(anchor));
+      std::uint64_t prev_seq = anchor_seq;
+      std::uint32_t prev_crc = img.header_crc;
+      for (const auto& p : paths) {
+        if (!CheckpointRing::is_delta(p)) continue;
+        const std::uint64_t seq = parse_seq(fs::path(p));
+        if (seq < anchor_seq) continue;  // leftovers of an older chain
+        try {
+          const DeltaImage d = load_delta_image(p, Dim, conn_id, conn.num_trees());
+          if (d.base_seq != anchor_seq || d.prev_seq != prev_seq || d.prev_crc != prev_crc) {
+            break;  // orphaned tail of a different chain: keep the prefix
+          }
+          apply_delta<Dim>(img, d, conn.num_trees(), p);
+          img.step = d.step;
+          img.bytes_read += d.bytes_read;
+          prev_seq = seq;
+          prev_crc = d.header_crc;
+        } catch (const CheckpointCorrupt&) {
+          fs::rename(p, p + ".bad");
+          ++falls;
+          break;  // everything after the corrupt link is unreachable
+        }
+      }
+      break;
+    }
+  }
+  status = comm.bcast(status, 0);
+  falls = comm.bcast(falls, 0);
+  if (fallbacks != nullptr) *fallbacks = falls;
+  if (status == 1) {
+    throw std::runtime_error(comm.rank() == 0 ? err : "checkpoint ring empty");
+  }
+  if (status == 2) {
+    throw CheckpointCorrupt(comm.rank() == 0 ? err : "no full snapshot passed CRC validation");
   }
   return distribute<Dim>(comm, conn, std::move(img));
 }
@@ -693,5 +1163,15 @@ template Restored<2> restore_latest<2>(par::Comm&, const forest::Connectivity<2>
                                        CheckpointRing&, int*);
 template Restored<3> restore_latest<3>(par::Comm&, const forest::Connectivity<3>&, std::uint64_t,
                                        CheckpointRing&, int*);
+template void write_delta_checkpoint_ring<2>(const forest::Forest<2>&, std::uint64_t,
+                                             std::uint64_t, const std::vector<NamedField>&,
+                                             forest::DeltaSet<2>&, CheckpointRing&);
+template void write_delta_checkpoint_ring<3>(const forest::Forest<3>&, std::uint64_t,
+                                             std::uint64_t, const std::vector<NamedField>&,
+                                             forest::DeltaSet<3>&, CheckpointRing&);
+template Restored<2> restore_latest_chain<2>(par::Comm&, const forest::Connectivity<2>&,
+                                             std::uint64_t, CheckpointRing&, int*);
+template Restored<3> restore_latest_chain<3>(par::Comm&, const forest::Connectivity<3>&,
+                                             std::uint64_t, CheckpointRing&, int*);
 
 }  // namespace esamr::resil

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "forest/delta.h"
 #include "forest/forest.h"
 
 namespace esamr::resil {
@@ -98,9 +99,11 @@ template <int Dim>
 Restored<Dim> restore_checkpoint(par::Comm& comm, const forest::Connectivity<Dim>& conn,
                                  std::uint64_t conn_id, const std::string& path);
 
-/// A directory holding the last `keep` snapshots: ckpt-<seq>.esnap, seq
-/// strictly increasing. Mutating members are rank-0-only (the collective
-/// wrappers below enforce that); the class itself does no communication.
+/// A directory holding the last `keep` snapshots: full snapshots
+/// ckpt-<seq>.esnap interleaved with delta checkpoints ckpt-<seq>.edelta,
+/// seq strictly increasing across both kinds. Mutating members are
+/// rank-0-only (the collective wrappers below enforce that); the class
+/// itself does no communication.
 class CheckpointRing {
  public:
   CheckpointRing(std::string dir, int keep);
@@ -108,15 +111,20 @@ class CheckpointRing {
   const std::string& dir() const { return dir_; }
   int keep() const { return keep_; }
 
-  /// Existing snapshot paths, oldest to newest (ignores *.tmp / *.bad).
+  /// Existing snapshot/delta paths, oldest to newest (ignores *.tmp / *.bad).
   std::vector<std::string> entries() const;
-  /// Newest snapshot path, or "" when the ring is empty.
+  /// True iff the entry path names a delta checkpoint (.edelta).
+  static bool is_delta(const std::string& path);
+  /// Newest entry path (either kind), or "" when the ring is empty.
   std::string newest() const;
-  /// Path the next snapshot should be committed to (seq = newest + 1).
+  /// Path the next full snapshot should be committed to (seq = newest + 1).
   std::string next_path() const;
+  /// Path the next delta checkpoint should be committed to (same seq line).
+  std::string next_delta_path() const;
   /// Rename the newest entry to <name>.bad so restores fall back past it.
   void quarantine_newest();
-  /// Delete oldest entries until at most `keep` remain.
+  /// Delete oldest entries until at most `keep` remain — but never the
+  /// newest full snapshot or anything newer than it (the live delta chain).
   void prune();
 
  private:
@@ -133,11 +141,40 @@ void write_checkpoint_ring(const forest::Forest<Dim>& f, std::uint64_t conn_id,
 /// Collective: restore the newest ring entry whose CRCs validate. Corrupt
 /// entries are quarantined and counted in *fallbacks (if non-null), and the
 /// next-older entry is tried. Throws CheckpointCorrupt when every entry is
-/// corrupt and std::runtime_error when the ring is empty.
+/// corrupt and std::runtime_error when the ring is empty. Full snapshots
+/// only — a delta chain is restored with restore_latest_chain.
 template <int Dim>
 Restored<Dim> restore_latest(par::Comm& comm, const forest::Connectivity<Dim>& conn,
                              std::uint64_t conn_id, CheckpointRing& ring,
                              int* fallbacks = nullptr);
+
+/// Collective: append a delta checkpoint to the ring. `delta` holds the
+/// change regions accumulated since the previous ring write (the caller
+/// clears it afterwards); the file stores the replicated regions, the
+/// current leaves inside them (global SFC order), and the `fields` values on
+/// exactly those leaves — so fields mutated outside the delta regions since
+/// the base snapshot need a full snapshot instead. The file is CRC-sealed
+/// like a full snapshot and chained to its predecessor by (base seq,
+/// prev seq, prev header CRC). Falls back to a full write_checkpoint_ring
+/// (collective decision) when the ring has no full-snapshot anchor, the
+/// delta overflowed, or ESAMR_INCR=0. OpStats::ckpt_delta_bytes counts the
+/// bytes of delta files committed.
+template <int Dim>
+void write_delta_checkpoint_ring(const forest::Forest<Dim>& f, std::uint64_t conn_id,
+                                 std::uint64_t step, const std::vector<NamedField>& fields,
+                                 forest::DeltaSet<Dim>& delta, CheckpointRing& ring);
+
+/// Collective: restore the newest full snapshot whose CRCs validate, then
+/// replay the delta chain on top of it in sequence order. The chain stops at
+/// the first delta that is corrupt or whose (base seq, prev seq, prev CRC)
+/// link does not match — the corrupt file is quarantined, later deltas are
+/// orphaned, and the state restored is the longest valid prefix (worst case:
+/// the full snapshot alone). Corrupt files quarantined are counted in
+/// *fallbacks. Elastic like restore_checkpoint.
+template <int Dim>
+Restored<Dim> restore_latest_chain(par::Comm& comm, const forest::Connectivity<Dim>& conn,
+                                   std::uint64_t conn_id, CheckpointRing& ring,
+                                   int* fallbacks = nullptr);
 
 /// How corrupt_checkpoint damages a snapshot file.
 enum class CorruptKind {
@@ -191,5 +228,17 @@ extern template Restored<2> restore_latest<2>(par::Comm&, const forest::Connecti
                                               std::uint64_t, CheckpointRing&, int*);
 extern template Restored<3> restore_latest<3>(par::Comm&, const forest::Connectivity<3>&,
                                               std::uint64_t, CheckpointRing&, int*);
+extern template void write_delta_checkpoint_ring<2>(const forest::Forest<2>&, std::uint64_t,
+                                                    std::uint64_t,
+                                                    const std::vector<NamedField>&,
+                                                    forest::DeltaSet<2>&, CheckpointRing&);
+extern template void write_delta_checkpoint_ring<3>(const forest::Forest<3>&, std::uint64_t,
+                                                    std::uint64_t,
+                                                    const std::vector<NamedField>&,
+                                                    forest::DeltaSet<3>&, CheckpointRing&);
+extern template Restored<2> restore_latest_chain<2>(par::Comm&, const forest::Connectivity<2>&,
+                                                    std::uint64_t, CheckpointRing&, int*);
+extern template Restored<3> restore_latest_chain<3>(par::Comm&, const forest::Connectivity<3>&,
+                                                    std::uint64_t, CheckpointRing&, int*);
 
 }  // namespace esamr::resil

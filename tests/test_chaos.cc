@@ -378,6 +378,190 @@ TEST(Chaos, CellsAreDeterministic) {
   }
 }
 
+// --- Adapt under fault (ISSUE 8) --------------------------------------------
+//
+// The campaign above runs a STATIC mesh with full snapshots. This class kills
+// ranks, corrupts messages, and injects disk faults while the mesh itself is
+// adapting and the checkpoint ring holds an OPEN DELTA CHAIN — a full anchor
+// plus per-step delta checkpoints. A restart must restore the longest valid
+// chain prefix (quarantining a corrupt tail), replay the remaining adapt
+// steps through the incremental pipeline, and still reproduce the fault-free
+// digest bit for bit.
+
+namespace {
+
+constexpr int n_adapt_steps = 5;
+
+/// Supervised adaptive workload: per step, canonical repartition (so coarsen
+/// family decisions are a pure function of mesh content, independent of
+/// restart history), a moving-front refine/coarsen with the delta recorded,
+/// incremental balance, and a delta-checkpoint commit. The per-octant field
+/// is a pure function of the octant, satisfying the delta-write contract
+/// (values outside the delta regions never change between ring writes).
+void adapt_fault_body(par::Comm& c, resil::RecoveryContext& ctx, const Connectivity<2>& conn,
+                      std::uint64_t cid, const std::string& ring_dir,
+                      std::uint64_t* digest_out) {
+  resil::CheckpointRing ring(ring_dir, 3);
+  constexpr int base = 2;
+  constexpr int maxl = 4;
+  const double root = static_cast<double>(Octant<2>::root_len);
+  const double radius = 1.6 * static_cast<double>(Octant<2>::root_len >> base);
+  const auto dist = [&](const Octant<2>& o, int k) {
+    const double half = 0.5 * static_cast<double>(o.size());
+    const double cx = (0.25 + 0.08 * k) * root;
+    const double cy = 0.4 * root;
+    const double dx = (static_cast<double>(o.x) + half) - cx;
+    const double dy = (static_cast<double>(o.y) + half) - cy;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const auto val = [](int t, const Octant<2>& o) {
+    return 1.0 + 0.25 * t + 1e-6 * o.x + 1e-7 * o.y + 0.0625 * o.level;
+  };
+  const auto field_of = [&](const Forest<2>& f) {
+    resil::NamedField u{"u", 1, {}};
+    f.for_each_local([&](int t, const Octant<2>& o) { u.data.push_back(val(t, o)); });
+    return u;
+  };
+
+  auto f = Forest<2>::new_uniform(c, &conn, base);
+  f.partition();
+  f.refine(maxl, false, [&](int t, const Octant<2>& o) {
+    return t == 0 && o.level <= maxl - 1 && dist(o, 0) < radius;
+  });
+  f.balance();
+
+  int k0 = 1;
+  int have = 0;
+  if (c.rank() == 0) have = ring.entries().empty() ? 0 : 1;
+  have = c.bcast(have, 0);
+  if (have != 0) {
+    // Restores through the delta chain: newest valid full anchor plus the
+    // longest valid delta prefix (a corrupt tail is quarantined and its
+    // steps are simply re-run below).
+    auto r = resil::restore_latest_chain<2>(c, conn, cid, ring);
+    if (c.rank() == 0) ctx.record_restore(r.bytes_read);
+    k0 = static_cast<int>(r.step) + 1;
+    f = std::move(r.forest);
+  } else {
+    resil::write_checkpoint_ring(f, cid, 0, {field_of(f)}, ring);
+  }
+
+  for (int k = k0; k <= n_adapt_steps; ++k) {
+    f.partition();
+    forest::DeltaSet<2> delta(f.num_trees());
+    f.refine(maxl, false, [&](int t, const Octant<2>& o) {
+      return t == 0 && o.level <= maxl - 1 && dist(o, k) < radius;
+    }, &delta);
+    f.coarsen(false, [&](int t, const Octant<2>& o) {
+      return t == 0 && o.level > base && dist(o, k) > 2.2 * radius;
+    }, &delta);
+    f.balance_incremental(delta);
+    resil::write_delta_checkpoint_ring(f, cid, static_cast<std::uint64_t>(k), {field_of(f)},
+                                       delta, ring);
+    if (c.rank() == 0) ctx.note_step();
+  }
+
+  const auto u = field_of(f);
+  std::vector<std::int64_t> bits;
+  bits.reserve(u.data.size());
+  for (const double v : u.data) {
+    std::int64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    bits.push_back(b);
+  }
+  const auto parts = c.allgatherv(bits);
+  const std::uint64_t fsum = f.checksum();
+  if (c.rank() == 0) {
+    std::uint32_t crc = 0;
+    for (const auto& part : parts) {
+      crc = resil::crc32c_update(crc, part.data(), part.size() * sizeof(std::int64_t));
+    }
+    *digest_out = (static_cast<std::uint64_t>(crc) << 32) ^ fsum;
+  }
+}
+
+}  // namespace
+
+// Kill / message-corruption / disk faults striking while the ring holds an
+// open delta chain: every run must terminate as success, diagnosed recovery
+// with the fault-free digest, or clean abort — never a hang or a silently
+// wrong mesh.
+TEST(Chaos, AdaptUnderFault) {
+  const auto conn = Connectivity<2>::brick({2, 1}, {false, false});
+  const std::uint64_t cid = resil::connectivity_id(conn);
+  const int ranks[] = {2, 4, 8};
+  const std::uint64_t seeds[] = {11, 22, 33, 44};
+
+  std::map<int, std::uint64_t> baseline;
+  for (const int p : ranks) {
+    std::uint64_t digest = 0;
+    const std::string dir = test_dir("adapt_baseline_p" + std::to_string(p));
+    par::run(p, [&](par::Comm& c) {
+      resil::RecoveryContext ctx(0);
+      adapt_fault_body(c, ctx, conn, cid, dir, &digest);
+    });
+    ASSERT_NE(digest, 0u) << "P=" << p;
+    baseline[p] = digest;
+  }
+
+  std::map<Outcome, int> tally;
+  for (const std::uint64_t seed : seeds) {
+    for (const int p : ranks) {
+      par::RunOptions opts;
+      opts.recv_timeout_s = 20.0;
+      opts.barrier_timeout_s = 20.0;
+      opts.inject.seed = seed;
+      opts.inject.kill_rank_stride = 2;
+      opts.inject.kill_after_ops = 60;
+      opts.inject.corrupt_msg_stride = 48;
+      opts.inject.disk_fault_stride = 3;
+      opts.arq.enabled = false;
+      resil::SupervisorOptions sopt;
+      sopt.max_retries = 4;
+      sopt.backoff_initial_s = 0.0;
+      const std::string dir =
+          test_dir("adapt_fault_p" + std::to_string(p) + "_s" + std::to_string(seed));
+      std::uint64_t digest = 0;
+      std::string diag;
+      Outcome o = Outcome::aborted;
+      try {
+        const auto stats = resil::supervise(
+            p, opts, sopt, nullptr, [&](par::Comm& c, resil::RecoveryContext& ctx) {
+              adapt_fault_body(c, ctx, conn, cid, dir, &digest);
+            });
+        EXPECT_EQ(digest, baseline[p]) << "SILENT WRONG MESH: P=" << p << " seed=" << seed
+                                       << " " << stats.summary();
+        diag = stats.summary();
+        o = stats.failures == 0 ? Outcome::success : Outcome::recovered;
+      } catch (const par::RankFailure& e) {
+        diag = e.what();
+      } catch (const par::TimeoutError& e) {
+        diag = e.what();
+      } catch (const par::CorruptMessage& e) {
+        diag = e.what();
+      } catch (const resil::CheckpointCorrupt& e) {
+        diag = e.what();
+      } catch (const par::check::CheckError& e) {
+        EXPECT_EQ(e.kind(), par::check::Violation::deadlock)
+            << "P=" << p << " seed=" << seed << ": " << e.what();
+        diag = e.what();
+      }
+      EXPECT_FALSE(diag.empty());
+      ++tally[o];
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "adapt_under_fault stopped at P=" << p << " seed=" << seed
+               << " outcome=" << outcome_name(o) << "\n  " << diag;
+      }
+    }
+  }
+  // Faults must actually fire and at least one run must restart through the
+  // delta chain and still land on the baseline digest.
+  EXPECT_GT(tally[Outcome::recovered], 0) << "no run ever recovered through the delta chain";
+  EXPECT_GT(tally[Outcome::success] + tally[Outcome::recovered], tally[Outcome::aborted]);
+  std::printf("adapt_under_fault: success=%d recovered=%d aborted=%d\n",
+              tally[Outcome::success], tally[Outcome::recovered], tally[Outcome::aborted]);
+}
+
 // --- Recovery-ladder policy matrix (ISSUE 7) --------------------------------
 //
 // The campaign above pins every fault to the supervisor (ARQ off). This

@@ -1,0 +1,352 @@
+// Bit-identity battery for the incremental adapt pipeline (ISSUE 8):
+// randomized refine/coarsen sequences are replayed twice — once through the
+// incremental paths (balance_incremental, GhostLayer::build_incremental,
+// NodeNumbering::build_incremental) and once through the full rebuilds — and
+// the forests, ghost layers and node numberings must be bit-identical at
+// every step, seed and rank count. The delta-checkpoint chain must restore
+// the exact state a full snapshot of the final forest restores; a corrupted
+// mid-chain delta must degrade to the longest valid prefix (here: the full
+// snapshot itself) instead of hanging or restoring silently-wrong state.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "forest/delta.h"
+#include "forest/ghost.h"
+#include "forest/nodes.h"
+#include "forest/stats.h"
+#include "par/comm.h"
+#include "resil/checkpoint.h"
+
+using namespace esamr;
+using forest::Connectivity;
+using forest::DeltaSet;
+using forest::Forest;
+using forest::GhostLayer;
+using forest::GhostScanCache;
+using forest::NodeNumbering;
+using forest::NodesCache;
+using forest::Octant;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh per-test scratch directory. The pid suffix keeps the plain run and
+/// the ESAMR_CHECK=1 whole-binary rerun apart under ctest -j.
+std::string test_dir(const std::string& name) {
+  const std::string d =
+      ::testing::TempDir() + "esamr_incr_" + name + "_" + std::to_string(::getpid());
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d;
+}
+
+std::uint64_t mixh(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Deterministic sparse marker: a pure function of (seed, step, salt, leaf),
+/// so the incremental and reference replays see identical adapt requests.
+bool marked(std::uint64_t seed, int step, std::uint64_t salt, int mod, int t,
+            const Octant<2>& o) {
+  const std::uint64_t h =
+      mixh(o.key() ^ (static_cast<std::uint64_t>(static_cast<unsigned>(o.level)) << 56) ^
+           mixh(seed * 1000003ull + static_cast<std::uint64_t>(step) * 101ull +
+                static_cast<std::uint64_t>(t) * 13ull + salt));
+  return h % static_cast<std::uint64_t>(mod) == 0;
+}
+
+void fold(std::uint64_t& h, std::int64_t v) {
+  h ^= static_cast<std::uint64_t>(v);
+  h *= 1099511628211ull;
+}
+
+std::uint64_t forest_digest(const Forest<2>& f) {
+  std::uint64_t h = 1469598103934665603ull;
+  f.for_each_local([&](int t, const Octant<2>& o) {
+    fold(h, t);
+    fold(h, o.x);
+    fold(h, o.y);
+    fold(h, o.level);
+  });
+  return h;
+}
+
+std::uint64_t ghost_digest(const GhostLayer<2>& g) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& go : g.ghosts) {
+    fold(h, go.tree);
+    fold(h, go.owner);
+    fold(h, go.oct.x);
+    fold(h, go.oct.y);
+    fold(h, go.oct.level);
+  }
+  for (const std::size_t r : g.rank_offset) fold(h, static_cast<std::int64_t>(r));
+  for (const auto& m : g.mirrors) {
+    fold(h, m.tree);
+    fold(h, m.local_index);
+    fold(h, m.oct.x);
+    fold(h, m.oct.y);
+    fold(h, m.oct.level);
+  }
+  for (const auto& lst : g.mirror_lists) {
+    fold(h, static_cast<std::int64_t>(lst.size()));
+    for (const std::int32_t i : lst) fold(h, i);
+  }
+  return h;
+}
+
+std::uint64_t nodes_digest(const NodeNumbering<2>& n) {
+  std::uint64_t h = 1469598103934665603ull;
+  fold(h, n.num_owned);
+  fold(h, n.owned_offset);
+  fold(h, n.num_global);
+  for (const std::int64_t r : n.rank_offsets) fold(h, r);
+  for (const auto& k : n.owned_keys) {
+    for (const std::int32_t v : k) fold(h, v);
+  }
+  for (const auto& [gid, k] : n.gid_keys) {
+    fold(h, gid);
+    for (const std::int32_t v : k) fold(h, v);
+  }
+  for (const auto& elem : n.elements) {
+    for (const auto& slot : elem) {
+      fold(h, static_cast<std::int64_t>(slot.size()));
+      for (const auto& cb : slot) {
+        fold(h, cb.gid);
+        std::int64_t wb;
+        std::memcpy(&wb, &cb.weight, sizeof(wb));
+        fold(h, wb);
+      }
+    }
+  }
+  return h;
+}
+
+/// Deterministic, partition-independent per-octant field value: values on
+/// unchanged octants stay unchanged across adapts, which is exactly the
+/// contract write_delta_checkpoint_ring requires of its fields.
+double field_value(int t, const Octant<2>& o, int comp) {
+  return static_cast<double>(t) + 1e-9 * o.x + 1e-10 * o.y + 0.125 * o.level + 3.0 * comp;
+}
+
+resil::NamedField make_field(const Forest<2>& f, const std::string& name, int per_oct) {
+  resil::NamedField fld{name, per_oct, {}};
+  f.for_each_local([&](int t, const Octant<2>& o) {
+    for (int k = 0; k < per_oct; ++k) fld.data.push_back(field_value(t, o, k));
+  });
+  return fld;
+}
+
+/// Flatten this rank's view of the *global* forest + field into words, via
+/// allgatherv, for comparisons across different partitions.
+std::vector<std::int64_t> global_state_words(par::Comm& c, const Forest<2>& f,
+                                             const std::vector<double>& field) {
+  std::vector<std::int64_t> octs;
+  f.for_each_local([&](int t, const Octant<2>& o) {
+    octs.push_back(t);
+    octs.push_back(o.x);
+    octs.push_back(o.y);
+    octs.push_back(o.level);
+  });
+  std::vector<std::int64_t> vals;
+  for (const double v : field) {
+    std::int64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    vals.push_back(bits);
+  }
+  std::vector<std::int64_t> all;
+  for (const auto& part : c.allgatherv(octs)) all.insert(all.end(), part.begin(), part.end());
+  for (const auto& part : c.allgatherv(vals)) all.insert(all.end(), part.begin(), part.end());
+  return all;
+}
+
+/// One tracked adapt step on the incremental forest: sparse refine + coarsen
+/// markers, incremental balance. Returns the step's delta.
+DeltaSet<2> adapt_step(Forest<2>& f, std::uint64_t seed, int step, int* incr_balances) {
+  DeltaSet<2> delta(f.num_trees());
+  f.refine(6, false,
+           [&](int t, const Octant<2>& o) { return marked(seed, step, 0x5eedull, 67, t, o); },
+           &delta);
+  f.coarsen(false,
+            [&](int t, const Octant<2>& o) { return marked(seed, step, 0xc0a5ull, 41, t, o); },
+            &delta);
+  if (f.balance_incremental(delta) && incr_balances != nullptr) ++(*incr_balances);
+  return delta;
+}
+
+class IncrementalBattery : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalBattery, AdaptSequenceBitIdentical) {
+  const int P = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    par::run(P, [&](par::Comm& c) {
+      const auto conn = Connectivity<2>::brick({2, 2}, {false, false});
+      auto fi = Forest<2>::new_uniform(c, &conn, 3);
+      fi.partition();
+      auto fr = Forest<2>::new_uniform(c, &conn, 3);
+      fr.partition();
+
+      GhostScanCache<2> gc;
+      auto gi = GhostLayer<2>::build_cached(fi, gc);
+      NodesCache<2> nc;
+      {
+        // Seed the nodes cache: an invalid cache routes through the full
+        // build inside build_incremental and recaptures it.
+        DeltaSet<2> d0(fi.num_trees());
+        NodeNumbering<2>::build_incremental(fi, gi, d0, nc);
+      }
+
+      int incr_balances = 0;
+      for (int step = 0; step < 5; ++step) {
+        DeltaSet<2> delta = adapt_step(fi, seed, step, &incr_balances);
+        gi = GhostLayer<2>::build_incremental(fi, gi, gc);
+        const NodeNumbering<2>& ni = NodeNumbering<2>::build_incremental(fi, gi, delta, nc);
+
+        fr.refine(6, false, [&](int t, const Octant<2>& o) {
+          return marked(seed, step, 0x5eedull, 67, t, o);
+        });
+        fr.coarsen(false, [&](int t, const Octant<2>& o) {
+          return marked(seed, step, 0xc0a5ull, 41, t, o);
+        });
+        fr.balance();
+        const auto gr = GhostLayer<2>::build(fr);
+        const auto nr = NodeNumbering<2>::build(fr, gr);
+
+        const std::string at = "P=" + std::to_string(P) + " seed=" + std::to_string(seed) +
+                               " step=" + std::to_string(step) +
+                               " rank=" + std::to_string(c.rank());
+        ASSERT_EQ(fi.checksum(), fr.checksum()) << at;
+        ASSERT_EQ(forest_digest(fi), forest_digest(fr)) << at;
+        ASSERT_EQ(ghost_digest(gi), ghost_digest(gr)) << at;
+        ASSERT_EQ(nodes_digest(ni), nodes_digest(nr)) << at;
+      }
+
+      // The incremental paths must actually engage, not silently fall back
+      // on every step (delta regions stay far below the 10% threshold here).
+      const auto tot = forest::op_stats_total(c);
+      if (c.rank() == 0) {
+        EXPECT_GT(incr_balances, 0);
+        EXPECT_GT(tot.nodes_reused, 0);
+        EXPECT_GT(tot.nodes_patched, 0);
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, IncrementalBattery, ::testing::Values(1, 2, 4, 7, 16));
+
+TEST(DeltaCheckpoint, ChainRestoreMatchesFullSnapshot) {
+  for (const int P : {1, 4, 7}) {
+    const std::string dir = test_dir("chain_p" + std::to_string(P));
+    const std::string dir_full = test_dir("chainfull_p" + std::to_string(P));
+    par::run(P, [&](par::Comm& c) {
+      const auto conn = Connectivity<2>::brick({2, 2}, {false, false});
+      const std::uint64_t cid = resil::connectivity_id<2>(conn);
+      auto f = Forest<2>::new_uniform(c, &conn, 3);
+      f.partition();
+
+      resil::CheckpointRing ring(dir, 3);
+      resil::NamedField fld = make_field(f, "u", 2);
+      resil::write_checkpoint_ring(f, cid, 0, {fld}, ring);
+
+      for (int step = 1; step <= 4; ++step) {
+        DeltaSet<2> delta = adapt_step(f, 11, step, nullptr);
+        fld = make_field(f, "u", 2);
+        resil::write_delta_checkpoint_ring(f, cid, static_cast<std::uint64_t>(step), {fld},
+                                           delta, ring);
+      }
+      if (c.rank() == 0) {
+        int ndelta = 0;
+        for (const auto& p : ring.entries()) ndelta += resil::CheckpointRing::is_delta(p);
+        EXPECT_GE(ndelta, 4) << "delta writes silently fell back to full snapshots";
+      }
+
+      int falls = -1;
+      auto rc = resil::restore_latest_chain<2>(c, conn, cid, ring, &falls);
+      EXPECT_EQ(falls, 0);
+      EXPECT_EQ(rc.step, 4u);
+      ASSERT_EQ(rc.fields.size(), 1u);
+      const auto live = global_state_words(c, f, fld.data);
+      EXPECT_EQ(global_state_words(c, rc.forest, rc.fields[0].data), live);
+
+      // ... and the chain's endpoint equals a fresh full snapshot's restore.
+      resil::CheckpointRing ring_full(dir_full, 3);
+      resil::write_checkpoint_ring(f, cid, 4, {fld}, ring_full);
+      auto rf = resil::restore_latest<2>(c, conn, cid, ring_full);
+      EXPECT_EQ(global_state_words(c, rc.forest, rc.fields[0].data),
+                global_state_words(c, rf.forest, rf.fields[0].data));
+    });
+    fs::remove_all(dir);
+    fs::remove_all(dir_full);
+  }
+}
+
+TEST(DeltaCheckpoint, CorruptMidChainFallsBackToFullSnapshot) {
+  const std::string dir = test_dir("chain_corrupt");
+  par::run(4, [&](par::Comm& c) {
+    const auto conn = Connectivity<2>::brick({2, 2}, {false, false});
+    const std::uint64_t cid = resil::connectivity_id<2>(conn);
+    auto f = Forest<2>::new_uniform(c, &conn, 3);
+    f.partition();
+
+    resil::CheckpointRing ring(dir, 3);
+    resil::NamedField fld = make_field(f, "u", 1);
+    resil::write_checkpoint_ring(f, cid, 0, {fld}, ring);
+    const auto base_words = global_state_words(c, f, fld.data);
+
+    for (int step = 1; step <= 3; ++step) {
+      DeltaSet<2> delta = adapt_step(f, 29, step, nullptr);
+      fld = make_field(f, "u", 1);
+      resil::write_delta_checkpoint_ring(f, cid, static_cast<std::uint64_t>(step), {fld},
+                                         delta, ring);
+    }
+
+    // Corrupt the first delta: the whole chain above the full snapshot is
+    // unreachable, so restore must land exactly on the full snapshot.
+    if (c.rank() == 0) {
+      std::string first_delta;
+      for (const auto& p : ring.entries()) {
+        if (resil::CheckpointRing::is_delta(p)) {
+          first_delta = p;
+          break;
+        }
+      }
+      ASSERT_FALSE(first_delta.empty());
+      resil::corrupt_checkpoint(first_delta, resil::CorruptKind::byte_flip, 7);
+    }
+    c.barrier();
+
+    int falls = -1;
+    auto rc = resil::restore_latest_chain<2>(c, conn, cid, ring, &falls);
+    EXPECT_EQ(falls, 1);  // the corrupt delta was quarantined
+    EXPECT_EQ(rc.step, 0u);
+    ASSERT_EQ(rc.fields.size(), 1u);
+    {
+      resil::NamedField r0 = make_field(rc.forest, "u", 1);
+      EXPECT_EQ(global_state_words(c, rc.forest, rc.fields[0].data), base_words);
+      EXPECT_EQ(global_state_words(c, rc.forest, r0.data), base_words);
+    }
+
+    // The orphaned later deltas have broken links now; a second restore must
+    // still land on the full snapshot, without quarantining anything else.
+    falls = -1;
+    auto rc2 = resil::restore_latest_chain<2>(c, conn, cid, ring, &falls);
+    EXPECT_EQ(falls, 0);
+    EXPECT_EQ(rc2.step, 0u);
+    EXPECT_EQ(global_state_words(c, rc2.forest, rc2.fields[0].data), base_words);
+  });
+  fs::remove_all(dir);
+}
+
+}  // namespace
