@@ -155,7 +155,7 @@ Connectivity<Dim> Connectivity<Dim>::build(const MacroMesh<Dim>& mesh) {
   std::map<std::array<int, fsize>, std::vector<std::pair<int, int>>> face_groups;
   for (int t = 0; t < ntrees; ++t) {
     for (int f = 0; f < nfaces; ++f) {
-      if (identified.count({t, f})) continue;
+      if (identified.contains({t, f})) continue;
       std::array<int, fsize> ids{};
       for (int i = 0; i < fsize; ++i) {
         ids[static_cast<std::size_t>(i)] = vtx(t, Topo<Dim>::face_corners[f][i]);

@@ -1285,7 +1285,7 @@ static NodeNumbering<Dim> build_reference(const Forest<Dim>& forest,
       const auto cp = o.corner_point(c);
       const Key k = nclass.canonical(t, cp);
       elem_keys[li][static_cast<std::size_t>(c)] = k;
-      if (classified.find(k) == classified.end()) classified.emplace(k, nclass.classify(t, cp));
+      if (!classified.contains(k)) classified.emplace(k, nclass.classify(t, cp));
     }
     ++li;
   });
@@ -1333,7 +1333,7 @@ static NodeNumbering<Dim> build_reference(const Forest<Dim>& forest,
     while (progress) {
       progress = false;
       for (const Key& k : want) {
-        if (resolved.count(k)) continue;
+        if (resolved.contains(k)) continue;
         const auto it = classified.find(k);
         if (it == classified.end()) continue;
         const Cls& cls = it->second;
@@ -1346,7 +1346,7 @@ static NodeNumbering<Dim> build_reference(const Forest<Dim>& forest,
         } else {
           bool all = true;
           for (const Key& m : cls.masters) {
-            if (!resolved.count(m)) all = false;
+            if (!resolved.contains(m)) all = false;
           }
           if (all) {
             std::map<std::int64_t, double> acc;
@@ -1367,7 +1367,7 @@ static NodeNumbering<Dim> build_reference(const Forest<Dim>& forest,
         if (it == classified.end() || it->second.independent) continue;
         for (std::size_t i = 0; i < it->second.masters.size(); ++i) {
           const Key& m = it->second.masters[i];
-          if (!want.count(m)) {
+          if (!want.contains(m)) {
             grow.push_back(m);
             ask_hint.emplace(m, it->second.ask[i]);
           }
@@ -1381,7 +1381,7 @@ static NodeNumbering<Dim> build_reference(const Forest<Dim>& forest,
     std::vector<std::vector<KeyMsg>> req(static_cast<std::size_t>(p));
     bool outstanding = false;
     for (const Key& k : want) {
-      if (resolved.count(k)) continue;
+      if (resolved.contains(k)) continue;
       outstanding = true;
       int target = -1;
       const auto it = classified.find(k);

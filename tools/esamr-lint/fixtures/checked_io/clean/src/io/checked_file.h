@@ -1,0 +1,16 @@
+// Fixture: io/checked_file.h is the single sanctioned raw-stdio site (it is
+// the wrapper everything else must use).
+#pragma once
+#include <cstdio>
+
+namespace esamr::io {
+
+class CheckedFile {
+ public:
+  CheckedFile(const char* path, const char* mode) { fp_ = std::fopen(path, mode); }
+
+ private:
+  std::FILE* fp_ = nullptr;
+};
+
+}  // namespace esamr::io

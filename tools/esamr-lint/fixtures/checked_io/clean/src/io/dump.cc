@@ -1,0 +1,13 @@
+// Fixture: the sanctioned writer. Mentions of fopen in comments or string
+// literals ("use fopen" below) must not fire the tokenizing rule.
+#include <string>
+#include "io/checked_file.h"
+
+void dump_mesh(const std::string& path, const double* xs, unsigned long n) {
+  esamr::io::CheckedFile out(path, "wb");
+  out.printf("mesh %lu\n", n);  // CheckedFile::printf checks, plain fprintf would not
+  out.write(xs, sizeof(double) * n);
+  out.close();
+}
+
+std::string io_hint() { return "never use fopen directly"; }

@@ -1,0 +1,11 @@
+// Fixture: the sanctioned-site mechanism for src/resil — a raw fopen with a
+// reasoned allow(), the same shape a corruption-injection helper would use.
+#include <cstdio>
+
+bool checkpoint_readable(const char* path) {
+  // esamr-lint: allow(checked-io) — read-only existence probe; CheckedFile would throw on ENOENT
+  std::FILE* fp = std::fopen(path, "rb");
+  if (fp == nullptr) return false;
+  std::fclose(fp);
+  return true;
+}

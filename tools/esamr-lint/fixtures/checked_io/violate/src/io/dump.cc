@@ -1,0 +1,10 @@
+// Fixture: raw stdio writes — failures (full disk, quota) truncate the file
+// while the process exits successfully.
+#include <cstdio>
+
+void dump_mesh(const char* path, const double* xs, unsigned long n) {
+  std::FILE* fp = std::fopen(path, "wb");       // FINDING checked-io (line 6)
+  std::fprintf(fp, "mesh %lu\n", n);            // FINDING checked-io (line 7)
+  std::fwrite(xs, sizeof(double), n, fp);       // FINDING checked-io (line 8)
+  std::fclose(fp);
+}

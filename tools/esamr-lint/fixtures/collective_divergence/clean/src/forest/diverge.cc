@@ -1,0 +1,15 @@
+// Fixture: rank-dependent branches around point-to-point traffic are the
+// normal SPMD idiom; collectives outside any rank branch are fine.
+#include "par/comm.h"
+
+void exchange(esamr::par::Comm& c) {
+  if (c.rank() == 0) {
+    c.send_value(1, 7, 42);  // p2p under a rank branch: fine
+  } else if (c.rank() == 1) {
+    auto m = c.recv(0, 7);
+    (void)m;
+  }
+  c.barrier();
+  auto sum = c.allreduce(1, esamr::par::ReduceOp::sum);
+  (void)sum;
+}

@@ -1,0 +1,9 @@
+// Fixture: the same divergent collective, silenced with a reasoned allow().
+#include "par/comm.h"
+
+void drain_root(esamr::par::Comm& c, int root) {
+  if (c.rank() == root) {
+    // esamr-lint: allow(collective-divergence) — root-only epilogue runs after all peers returned
+    c.barrier();
+  }
+}

@@ -1,0 +1,18 @@
+// Fixture: collectives issued under rank-dependent control flow. A subset of
+// ranks entering bcast/allreduce/barrier is an undebuggable hang at scale.
+#include "par/comm.h"
+
+void broadcast_plan(esamr::par::Comm& c, int root) {
+  if (c.rank() == root) {
+    c.barrier();  // FINDING collective-divergence (line 7)
+  } else {
+    auto counts = c.allgather(1);  // FINDING collective-divergence (line 9)
+    (void)counts;
+  }
+  while (c.rank() > 0) {
+    auto sum = c.allreduce(1, esamr::par::ReduceOp::sum);  // FINDING (line 13)
+    (void)sum;
+    break;
+  }
+  c.barrier();  // fine: unconditional
+}

@@ -1,0 +1,24 @@
+// Fixture: every entry threads a defaulted std::source_location, and *calls*
+// to entry names inside inline bodies (no source_location among the call
+// arguments) must not be mistaken for declarations.
+#pragma once
+#include <source_location>
+
+namespace esamr::par {
+
+class Comm {
+ public:
+  Message recv(int source, int tag,
+               std::source_location loc = std::source_location::current());
+  void barrier(std::source_location loc = std::source_location::current());
+
+  Message recv_default(int source,
+                       std::source_location loc = std::source_location::current()) {
+    return recv(source, -1, loc);  // call, not a declaration: fine
+  }
+
+  // Buffered sends never block and are exempt from the contract by design.
+  void send_bytes(int dest, int tag, const void* data, unsigned long nbytes);
+};
+
+}  // namespace esamr::par

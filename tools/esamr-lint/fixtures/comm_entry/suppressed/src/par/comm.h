@@ -1,0 +1,13 @@
+// Fixture: a reasoned allow() on a loc-less entry.
+#pragma once
+#include <source_location>
+
+namespace esamr::par {
+
+class Comm {
+ public:
+  // esamr-lint: allow(comm-entry) — legacy ABI shim kept for the v0 trace replayer, never blocks
+  Message recv(int source, int tag);
+};
+
+}  // namespace esamr::par

@@ -1,0 +1,17 @@
+// Fixture: comm entry points that fail to thread std::source_location — the
+// dynamic checker's race/deadlock/mismatch reports would lose the user call
+// site for these.
+#pragma once
+#include <source_location>
+
+namespace esamr::par {
+
+class Comm {
+ public:
+  Message recv(int source, int tag);  // FINDING comm-entry (line 11)
+  void barrier();                     // FINDING comm-entry (line 12)
+  void bcast_bytes(BufT& buf, int root,
+                   std::source_location loc = std::source_location::current());  // ok
+};
+
+}  // namespace esamr::par

@@ -1,0 +1,19 @@
+// Fixture: both halves of the clean contract — unordered lookup (no
+// iteration) feeding comm is fine, and unordered *iteration* is fine in a
+// function that never reaches a comm/CRC/checkpoint sink.
+#include <unordered_map>
+#include <vector>
+#include "par/comm.h"
+
+long lookup_weight(esamr::par::Comm& c, const std::unordered_map<int, long>& weights) {
+  const long mine = weights.at(c.rank());  // lookup, not iteration: fine
+  return c.allreduce(mine, esamr::par::ReduceOp::sum);
+}
+
+long local_total(const std::unordered_map<int, long>& weights) {
+  long total = 0;
+  for (const auto& kv : weights) {  // no sink reachable from here: fine
+    total += kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,15 @@
+// Fixture: unordered iteration ahead of a digest, silenced with a reason
+// (the values are accumulated commutatively, so order cannot leak).
+#include <unordered_map>
+#include <cstdint>
+
+std::uint32_t crc32c(const void* data, unsigned long nbytes);
+
+std::uint64_t weight_digest(const std::unordered_map<int, long>& weights) {
+  std::uint64_t h = 0;
+  // esamr-lint: allow(determinism) — commutative sum; iteration order cannot reach the digest
+  for (const auto& kv : weights) {
+    h += static_cast<std::uint64_t>(kv.second);
+  }
+  return crc32c(&h, sizeof(h));
+}

@@ -1,0 +1,9 @@
+// Fixture (cross-file half): publish_weights reaches a comm call, so any
+// caller of it is order-sensitive.
+#include "par/comm.h"
+#include <vector>
+
+std::vector<long> publish_weights(esamr::par::Comm& c, const std::vector<long>& w) {
+  auto all = c.allgatherv(w);
+  return all.empty() ? w : all.front();
+}

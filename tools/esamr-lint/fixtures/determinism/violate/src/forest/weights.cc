@@ -1,0 +1,14 @@
+// Fixture: iterating an unordered container in a function whose result
+// (transitively, via publish_weights in pub.cc) goes over the wire — hash
+// order becomes wire order, which differs across platforms and libstdc++
+// versions.
+#include <unordered_map>
+#include <vector>
+
+std::vector<long> flatten(const std::unordered_map<int, long>& weights) {
+  std::vector<long> out;
+  for (const auto& kv : weights) {  // FINDING determinism (line 10)
+    out.push_back(kv.second);
+  }
+  return publish_weights(out);
+}

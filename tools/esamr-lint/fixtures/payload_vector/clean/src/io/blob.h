@@ -1,0 +1,11 @@
+// Fixture: the rule is scoped to src/par — a uint8_t vector in src/io is
+// outside the payload plane and stays unflagged.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+namespace esamr::io {
+
+std::vector<std::uint8_t> read_texture_bytes();
+
+}  // namespace esamr::io

@@ -1,0 +1,11 @@
+// Fixture: the sanctioned payload types.
+#pragma once
+#include <cstddef>
+#include <vector>
+
+namespace esamr::par {
+
+std::vector<std::byte> pack_octants();
+std::vector<unsigned char> debug_dump();  // not the gated signature
+
+}  // namespace esamr::par

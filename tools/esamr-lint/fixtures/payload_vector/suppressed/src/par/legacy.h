@@ -1,0 +1,11 @@
+// Fixture: a sanctioned uint8_t blob with a reasoned allow().
+#pragma once
+#include <cstdint>
+#include <vector>
+
+namespace esamr::par {
+
+// esamr-lint: allow(payload-vector) — wire-compat shim for the v0 trace format, never a payload
+std::vector<std::uint8_t> decode_v0_trace();
+
+}  // namespace esamr::par

@@ -1,0 +1,15 @@
+// Fixture: raw uint8_t byte-blob signatures in src/par — the copying legacy
+// API the zero-copy Buffer refactor removed.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+namespace esamr::par {
+
+std::vector<uint8_t> pack_octants();           // FINDING payload-vector (line 9)
+
+struct LegacyMailbox {
+  std::vector<std::uint8_t> bytes;             // FINDING payload-vector (line 12)
+};
+
+}  // namespace esamr::par

@@ -1,0 +1,11 @@
+// Fixture: par/backoff.* is the single sanctioned raw-sleep call site.
+#include <chrono>
+#include <thread>
+
+namespace esamr::par::detail {
+
+void sleep_s(double seconds) {
+  if (seconds > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace esamr::par::detail

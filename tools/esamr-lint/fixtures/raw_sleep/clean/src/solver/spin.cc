@@ -1,0 +1,8 @@
+// Fixture: the old grep gate's false-positive surface. Mentioning
+// std::this_thread::sleep_for in a comment — as this comment just did — or in
+// a string literal must NOT fire the tokenizing rule.
+#include <string>
+
+std::string lint_hint() {
+  return "replace std::this_thread::sleep_for(x) with par::SeededBackoff";
+}

@@ -1,0 +1,8 @@
+// Fixture: a reasoned allow() on a raw sleep.
+#include <chrono>
+#include <thread>
+
+void settle_filesystem() {
+  // esamr-lint: allow(raw-sleep) — NFS close-to-open settle outside any replayed comm path
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}

@@ -1,0 +1,8 @@
+// Fixture: a raw sleep_for outside par/backoff — an unseeded, unaccounted
+// delay invisible to deterministic replay and backoff bookkeeping.
+#include <chrono>
+#include <thread>
+
+void wait_for_convergence_hack() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // FINDING raw-sleep (line 7)
+}

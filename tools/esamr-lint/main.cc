@@ -1,0 +1,85 @@
+// esamr-lint CLI.
+//
+//   esamr-lint [--json] [--json-out FILE] [--rules r1,r2] [--list-rules] PATH...
+//
+// PATH arguments are files or directories (walked recursively for *.h/*.cc).
+// Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error. The summary
+// always includes the suppression count — silenced diagnostics stay visible.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: esamr-lint [--json] [--json-out FILE] [--rules r1,r2] [--list-rules] PATH...\n"
+     << "  PATH...        files or directories to scan (*.h, *.cc)\n"
+     << "  --json         print findings as JSON on stdout instead of text\n"
+     << "  --json-out F   additionally write the JSON report to F (CI artifact)\n"
+     << "  --rules LIST   comma-separated rule ids to run (default: all)\n"
+     << "  --list-rules   print the known rule ids and exit\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using esamr::lint::Options;
+  using esamr::lint::Report;
+  std::vector<std::string> paths;
+  Options opts;
+  bool json = false;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--json-out") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      json_out = argv[i];
+    } else if (arg == "--rules") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      std::string list = argv[i];
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string id = list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!id.empty()) opts.rules.insert(id);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg == "--list-rules") {
+      for (const auto& id : esamr::lint::rule_ids()) std::cout << id << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "esamr-lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(std::cerr, 2);
+
+  Report report;
+  try {
+    report = esamr::lint::analyze_paths(paths, opts);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "esamr-lint: cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << esamr::lint::to_json(report);
+  }
+  std::cout << (json ? esamr::lint::to_json(report) : esamr::lint::to_text(report));
+  return report.clean() ? 0 : 1;
+}
