@@ -52,7 +52,7 @@ constexpr double detect_slice_s = 0.05;
 void arq_ack(World* w, int dest, const Message& m) {
   auto& box = *w->retain[static_cast<std::size_t>(dest)];
   std::lock_guard<std::mutex> lock(box.m);
-  if (box.entries.erase({m.source, m.seq}) != 0) detail::arq_note_acked();
+  if (box.entries.erase({m.source, m.seq}) != 0) detail::arq_note_acked(w->opts.arq_scope);
 }
 
 }  // namespace
@@ -203,7 +203,7 @@ void Comm::send_impl(bool coll, int dest, int tag, Buffer payload) {
       auto& box = *world_->retain[static_cast<std::size_t>(dest)];
       std::lock_guard<std::mutex> lock(box.m);
       box.entries.insert_or_assign({rank_, msg.seq}, World::RetainEntry{msg.payload, msg.seal});
-      detail::arq_note_retained();
+      detail::arq_note_retained(world_->opts.arq_scope);
     }
   }
 
@@ -355,7 +355,7 @@ void Comm::verify_envelope(Message& m, const char* what) {
       for (int attempt = 1; attempt <= arq.max_retransmits; ++attempt) {
         ++st.retransmits;
         ++retransmits_spent;
-        detail::arq_note_retransmit();
+        detail::arq_note_retransmit(world_->opts.arq_scope);
         backoff.sleep();
         world_->hb_beat(rank_);
         Buffer fresh = entry.payload;
@@ -373,7 +373,7 @@ void Comm::verify_envelope(Message& m, const char* what) {
         if (fresh.size() == entry.seal.nbytes && crc == entry.seal.crc) {
           m.payload = std::move(fresh);
           ++st.arq_healed;
-          detail::arq_note_healed(wall_seconds() - t0);
+          detail::arq_note_healed(world_->opts.arq_scope, wall_seconds() - t0);
           arq_ack(world_, rank_, m);
           return;
         }
@@ -381,7 +381,7 @@ void Comm::verify_envelope(Message& m, const char* what) {
       }
     }
     ++st.arq_escalations;
-    detail::arq_note_escalated();
+    detail::arq_note_escalated(world_->opts.arq_scope);
   }
   char buf[256];
   std::snprintf(buf, sizeof(buf),

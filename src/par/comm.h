@@ -92,6 +92,13 @@ struct RunOptions {
   /// Link-level retransmission of corrupt messages (see ArqConfig). Active
   /// only when `integrity` is also on.
   ArqConfig arq{};
+  /// Optional caller-owned ARQ accounting scope (par/stats.h): when set,
+  /// every link-level ARQ event in this world bumps these counters in
+  /// addition to the process-wide ArqStats. resil::supervise installs one per
+  /// supervised run unless the caller provided its own, so concurrent
+  /// supervisors (the serving layer) never read each other's heals. Not
+  /// owned; must outlive the run.
+  ArqScope* arq_scope = nullptr;
   /// Heartbeat failure detection: every comm operation (and every slice of a
   /// blocked wait) stamps the rank's liveness; a rank silent for longer than
   /// this window — and not yet returned from its SPMD function — is declared

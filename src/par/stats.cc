@@ -38,20 +38,59 @@ void arq_stats_reset() {
   g_arq_heal_s.store(0.0, std::memory_order_relaxed);
 }
 
+ArqStats ArqScope::snapshot() const {
+  ArqStats s;
+  s.retained = retained.load(std::memory_order_relaxed);
+  s.acked = acked.load(std::memory_order_relaxed);
+  s.retransmits = retransmits.load(std::memory_order_relaxed);
+  s.healed = healed.load(std::memory_order_relaxed);
+  s.escalated = escalated.load(std::memory_order_relaxed);
+  s.heal_s = heal_s.load(std::memory_order_relaxed);
+  return s;
+}
+
 namespace detail {
 
-void arq_note_retained() { g_arq_retained.fetch_add(1, std::memory_order_relaxed); }
-void arq_note_acked() { g_arq_acked.fetch_add(1, std::memory_order_relaxed); }
-void arq_note_retransmit() { g_arq_retransmits.fetch_add(1, std::memory_order_relaxed); }
+namespace {
 
-void arq_note_healed(double heal_s) {
-  g_arq_healed.fetch_add(1, std::memory_order_relaxed);
-  double cur = g_arq_heal_s.load(std::memory_order_relaxed);
-  while (!g_arq_heal_s.compare_exchange_weak(cur, cur + heal_s, std::memory_order_relaxed)) {
+// Exact accumulation of a double under concurrency (the CAS loop the global
+// heal clock already used, shared with the scoped one).
+void atomic_add(std::atomic<double>& acc, double v) {
+  double cur = acc.load(std::memory_order_relaxed);
+  while (!acc.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
 }
 
-void arq_note_escalated() { g_arq_escalated.fetch_add(1, std::memory_order_relaxed); }
+}  // namespace
+
+void arq_note_retained(ArqScope* scope) {
+  g_arq_retained.fetch_add(1, std::memory_order_relaxed);
+  if (scope != nullptr) scope->retained.fetch_add(1, std::memory_order_relaxed);
+}
+
+void arq_note_acked(ArqScope* scope) {
+  g_arq_acked.fetch_add(1, std::memory_order_relaxed);
+  if (scope != nullptr) scope->acked.fetch_add(1, std::memory_order_relaxed);
+}
+
+void arq_note_retransmit(ArqScope* scope) {
+  g_arq_retransmits.fetch_add(1, std::memory_order_relaxed);
+  if (scope != nullptr) scope->retransmits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void arq_note_healed(ArqScope* scope, double heal_s) {
+  g_arq_healed.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(g_arq_heal_s, heal_s);
+  if (scope != nullptr) {
+    scope->healed.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(scope->heal_s, heal_s);
+  }
+}
+
+void arq_note_escalated(ArqScope* scope) {
+  g_arq_escalated.fetch_add(1, std::memory_order_relaxed);
+  if (scope != nullptr) scope->escalated.fetch_add(1, std::memory_order_relaxed);
+}
 
 }  // namespace detail
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -119,12 +120,33 @@ ArqStats arq_stats();
 /// Reset the process-wide ARQ counters (bench/test phase boundaries).
 void arq_stats_reset();
 
+/// Caller-scoped ARQ accounting (RunOptions::arq_scope): the same counters as
+/// the process-wide ArqStats, but owned by one caller and bumped only by the
+/// world(s) whose RunOptions point at it. resil::supervise installs one per
+/// supervised run (unless the caller provided its own), so concurrent
+/// supervisors — the multi-tenant serving layer runs hundreds — observe only
+/// their *own* link-layer heals instead of reading each other's out of the
+/// process-wide totals. The globals keep accumulating the cross-world sum.
+struct ArqScope {
+  std::atomic<std::int64_t> retained{0};
+  std::atomic<std::int64_t> acked{0};
+  std::atomic<std::int64_t> retransmits{0};
+  std::atomic<std::int64_t> healed{0};
+  std::atomic<std::int64_t> escalated{0};
+  std::atomic<double> heal_s{0.0};
+
+  /// Coherent plain-value copy of the counters.
+  ArqStats snapshot() const;
+};
+
 namespace detail {
-void arq_note_retained();
-void arq_note_acked();
-void arq_note_retransmit();
-void arq_note_healed(double heal_s);
-void arq_note_escalated();
+// Each note bumps the process-wide counter and, when `scope` is non-null, the
+// caller's ArqScope (the World threads its RunOptions::arq_scope through).
+void arq_note_retained(ArqScope* scope);
+void arq_note_acked(ArqScope* scope);
+void arq_note_retransmit(ArqScope* scope);
+void arq_note_healed(ArqScope* scope, double heal_s);
+void arq_note_escalated(ArqScope* scope);
 }  // namespace detail
 
 }  // namespace esamr::par

@@ -702,6 +702,12 @@ void write_checkpoint_ring(const forest::Forest<Dim>& f, std::uint64_t conn_id,
   if (comm.rank() == 0) ring.prune();
 }
 
+bool ring_probe(par::Comm& comm, const CheckpointRing& ring) {
+  int has = 0;
+  if (comm.rank() == 0) has = ring.entries().empty() ? 0 : 1;
+  return comm.bcast(has, 0) != 0;
+}
+
 template <int Dim>
 Restored<Dim> restore_latest(par::Comm& comm, const forest::Connectivity<Dim>& conn,
                              std::uint64_t conn_id, CheckpointRing& ring, int* fallbacks) {

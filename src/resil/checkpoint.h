@@ -132,6 +132,12 @@ class CheckpointRing {
   int keep_;
 };
 
+/// Collective: true iff the ring has at least one restorable entry. Only
+/// rank 0 lists the directory; the verdict is broadcast so every rank takes
+/// the same restore-vs-cold-start branch (a rank-local entries() check would
+/// be a classic collective-divergence hazard under concurrent pruning).
+bool ring_probe(par::Comm& comm, const CheckpointRing& ring);
+
 /// Collective: write the next ring entry and prune old ones.
 template <int Dim>
 void write_checkpoint_ring(const forest::Forest<Dim>& f, std::uint64_t conn_id,

@@ -18,6 +18,30 @@ const char* recovery_mode_name(RecoveryMode m) {
   return "?";
 }
 
+void RecoveryStats::merge(const RecoveryStats& o) {
+  attempts += o.attempts;
+  failures += o.failures;
+  corrupt_msgs += o.corrupt_msgs;
+  bytes_reread += o.bytes_reread;
+  steps_replayed += o.steps_replayed;
+  backoff_s += o.backoff_s;
+  if (o.backoff_min_s > 0.0 && (backoff_min_s == 0.0 || o.backoff_min_s < backoff_min_s)) {
+    backoff_min_s = o.backoff_min_s;
+  }
+  if (o.backoff_max_s > backoff_max_s) backoff_max_s = o.backoff_max_s;
+  healed_link += o.healed_link;
+  healed_spare += o.healed_spare;
+  healed_shrink += o.healed_shrink;
+  healed_restart += o.healed_restart;
+  ranks_final = o.ranks_final;
+  suspended = o.suspended;
+  repairs += o.repairs;
+  repair_s += o.repair_s;
+  detect_s += o.detect_s;
+  failure_log.insert(failure_log.end(), o.failure_log.begin(), o.failure_log.end());
+  failures_dropped += o.failures_dropped;
+}
+
 std::string RecoveryStats::summary() const {
   char buf[288];
   std::snprintf(buf, sizeof(buf),
@@ -38,7 +62,13 @@ std::string RecoveryStats::summary() const {
                   repairs, detect_s);
     out += buf;
   }
+  if (suspended) out += "\nsuspended (checkpoint committed, no budget consumed)";
   for (const std::string& f : failure_log) out += "\n  fault: " + f;
+  if (failures_dropped > 0) {
+    std::snprintf(buf, sizeof(buf), "\n  (+%d fault log line(s) dropped by the cap)",
+                  failures_dropped);
+    out += buf;
+  }
   return out;
 }
 
@@ -51,21 +81,41 @@ enum class Fault { rank_failure, timeout, corrupt_msg, corrupt_ckpt };
 RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOptions& sopts,
                         CheckpointRing* ring, const SupervisedBody& body) {
   RecoveryStats stats;
-  // Process-wide ARQ baseline: link-layer heals never surface as exceptions,
-  // so they are observed as a counter delta across this supervised run.
-  const std::int64_t arq_healed0 = par::arq_stats().healed;
+  // Link-layer heals never surface as exceptions, so they are observed as a
+  // counter delta across this supervised run — against a *scoped* counter
+  // (par::ArqScope installed into the RunOptions), not the process-wide one,
+  // so concurrent supervisors never read each other's heals. A caller-
+  // provided scope is respected (and read the same delta-wise).
+  par::ArqScope arq_local;
+  if (opts.arq_scope == nullptr) opts.arq_scope = &arq_local;
+  const std::int64_t arq_healed0 = opts.arq_scope->healed.load(std::memory_order_relaxed);
+  const auto arq_healed_delta = [&] {
+    return static_cast<int>(opts.arq_scope->healed.load(std::memory_order_relaxed) -
+                            arq_healed0);
+  };
   // The jittered-exponential restart schedule (one draw per caught fault) —
   // the same stream the pre-refactor inline formula produced, now drawn from
-  // the shared seeded-backoff helper.
+  // the shared seeded-backoff helper. backoff_salt decorrelates concurrent
+  // supervisors that share an inject seed; the default salt of 0 mixes to 0,
+  // keeping single-job schedules bit-identical.
   par::SeededBackoff backoff(
       par::BackoffPolicy{sopts.backoff_initial_s, sopts.backoff_factor, sopts.backoff_cap_s,
                          sopts.backoff_jitter},
-      opts.inject.seed ^ 0xbac0ffULL);
+      opts.inject.seed ^ 0xbac0ffULL ^ par::detail::mix64(sopts.backoff_salt));
   int world_size = nranks;
   int spares_left = sopts.policy.spares;
   double fault_wall = 0.0;  // wall time of the currently-unrepaired fault
 
   for (int attempt = 0;; ++attempt) {
+    // A suspend requested while no attempt is in flight (e.g. during the
+    // backoff sleep between retries, or before the first launch) yields here
+    // instead of starting another attempt the scheduler no longer wants.
+    if (sopts.suspend != nullptr && sopts.suspend->requested()) {
+      stats.suspended = true;
+      stats.ranks_final = world_size;
+      stats.healed_link = arq_healed_delta();
+      return stats;
+    }
     RecoveryContext ctx(attempt);
 
     // Close the previous fault's repair interval at this attempt's first
@@ -89,7 +139,11 @@ RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOption
       if (fault == Fault::corrupt_msg) ++stats.corrupt_msgs;
       stats.bytes_reread += ctx.bytes_reread();
       stats.steps_replayed += ctx.steps_done();  // this attempt's work is discarded
-      stats.failure_log.emplace_back(what);
+      if (static_cast<int>(stats.failure_log.size()) < sopts.failure_log_max) {
+        stats.failure_log.emplace_back(what);
+      } else {
+        ++stats.failures_dropped;  // bounded log under sustained fault load
+      }
       if (attempt >= sopts.max_retries) return false;
       if (fault == Fault::rank_failure) {
         // The repair ladder: substitute a spare (size unchanged), else re-form
@@ -135,7 +189,19 @@ RecoveryStats supervise(int nranks, par::RunOptions opts, const SupervisorOption
       settle_mttr();
       stats.bytes_reread += ctx.bytes_reread();
       stats.ranks_final = world_size;
-      stats.healed_link = static_cast<int>(par::arq_stats().healed - arq_healed0);
+      stats.healed_link = arq_healed_delta();
+      return stats;
+    } catch (const Suspended&) {
+      // A cooperative checkpoint-and-suspend, not a fault: the body committed
+      // a checkpoint and yielded the world. The steps this attempt completed
+      // are preserved by that checkpoint (nothing is replayed), no retry
+      // budget is consumed, and the caller resumes with a later supervise
+      // call over the same ring — elastically, at any world size.
+      settle_mttr();
+      stats.bytes_reread += ctx.bytes_reread();
+      stats.ranks_final = world_size;
+      stats.suspended = true;
+      stats.healed_link = arq_healed_delta();
       return stats;
     } catch (const par::RankFailure& e) {
       stats.detect_s += e.silent_s();

@@ -65,6 +65,37 @@ namespace esamr::resil {
 
 class CheckpointRing;
 
+/// Cooperative checkpoint-and-suspend handshake between a scheduler and a
+/// supervised job (the serving layer's preemption primitive; see src/serve).
+/// The scheduler calls request(); the job body observes the request at its
+/// next step boundary — through a *collective* poll so every rank agrees on
+/// the step it yields at — commits a checkpoint, and throws Suspended. The
+/// supervisor returns with RecoveryStats::suspended = true instead of
+/// treating the unwind as a fault. A later supervise call over the same
+/// checkpoint ring resumes bit-identically, elastically at any world size
+/// (that is checkpoint-based preemption / migration).
+class SuspendToken {
+ public:
+  /// Ask the supervised job to checkpoint and yield (idempotent, thread-safe).
+  void request() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  /// True once a suspend has been requested and not yet cleared.
+  bool requested() const noexcept { return flag_.load(std::memory_order_relaxed); }
+  /// Re-arm the token before resuming the job.
+  void clear() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Thrown by a supervised body after committing a checkpoint in response to
+/// SuspendToken::request(). Not a fault: supervise returns immediately with
+/// RecoveryStats::suspended = true, burns no retry budget, and the job's
+/// ring holds everything a later supervise call needs to resume.
+class Suspended : public std::exception {
+ public:
+  const char* what() const noexcept override { return "esamr::resil job suspended"; }
+};
+
 /// How the supervisor repairs a confirmed rank failure (the top rung of the
 /// recovery ladder; the two cheaper rungs — link-level ARQ and heartbeat
 /// detection — live in par and need no supervisor involvement to *heal*,
@@ -109,6 +140,9 @@ struct RecoveryStats {
   int healed_restart = 0;  ///< faults healed by a full restart-and-replay
   /// World size the run finished at (nranks minus successful shrinks).
   int ranks_final = 0;
+  /// True when the run ended in a cooperative checkpoint-and-suspend (see
+  /// SuspendToken) rather than completing; no retry budget was consumed.
+  bool suspended = false;
 
   // Mean-time-to-repair accounting. A repair interval runs from catching a
   // fault to the next attempt's first successful snapshot restore (the world
@@ -121,7 +155,17 @@ struct RecoveryStats {
   /// process-wide: see par::arq_stats().heal_s / healed).
   double mttr_s() const { return repairs > 0 ? repair_s / repairs : 0.0; }
 
-  std::vector<std::string> failure_log;  ///< one message per caught fault
+  /// One message per caught fault, capped at SupervisorOptions::
+  /// failure_log_max so a long-lived service job under sustained fault load
+  /// cannot grow memory without bound; overflow is counted, not stored.
+  std::vector<std::string> failure_log;
+  int failures_dropped = 0;  ///< faults whose log line was dropped by the cap
+
+  /// Fold a later supervise call's stats into this one: counters and times
+  /// accumulate, ranks_final/suspended take the newer call's value, and the
+  /// failure log appends (each call is individually capped). The serving
+  /// layer uses this to account one job across suspend/resume cycles.
+  void merge(const RecoveryStats& o);
 
   std::string summary() const;
 };
@@ -140,8 +184,21 @@ struct SupervisorOptions {
   /// retry storms across concurrent supervisors while staying reproducible;
   /// the realised bounds are recorded in RecoveryStats::backoff_{min,max}_s.
   /// The schedule is drawn from par::SeededBackoff with key inject.seed ^
-  /// 0xbac0ff, one draw per caught fault.
+  /// 0xbac0ff ^ mix64(backoff_salt), one draw per caught fault.
   double backoff_jitter = 0.5;
+  /// Per-supervisor identity mixed into the backoff key so concurrent
+  /// supervisors sharing an inject seed draw *decorrelated* jitter instead of
+  /// retrying in lockstep (a retry storm). The serving layer passes the job
+  /// id. The default 0 mixes to zero (mix64(0) == 0), keeping every
+  /// single-job schedule bit-identical to the pre-salt ones.
+  std::uint64_t backoff_salt = 0;
+  /// Cap on RecoveryStats::failure_log entries per supervise call; further
+  /// faults are still counted (failures / failures_dropped) but not stored.
+  int failure_log_max = 64;
+  /// Cooperative suspension channel (see SuspendToken). When set, a pending
+  /// request observed between attempts returns suspended instead of
+  /// retrying; a body-thrown Suspended always returns suspended. Not owned.
+  SuspendToken* suspend = nullptr;
   /// Treat injected rank-kill as a one-shot node failure: the retry runs with
   /// kill_after_ops = 0 so the same deterministic kill cannot fire again.
   /// Only consulted on the full-restart path; shrink/spare repairs exempt the

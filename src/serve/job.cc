@@ -1,0 +1,36 @@
+#include "serve/job.h"
+
+namespace esamr::serve {
+
+const char* workload_kind_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::ring_u64: return "ring_u64";
+  }
+  return "?";
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::queued: return "queued";
+    case JobState::running: return "running";
+    case JobState::suspended: return "suspended";
+    case JobState::completed: return "completed";
+    case JobState::quarantined: return "quarantined";
+    case JobState::rejected: return "rejected";
+  }
+  return "?";
+}
+
+int JobControl::poll(par::Comm& c) const {
+  int v = keep_running;
+  if (c.rank() == 0) {
+    if (token.requested()) {
+      v = yield;
+    } else if (deadline_s > 0.0 && par::wall_seconds() - lease_start_wall > deadline_s) {
+      v = overrun;
+    }
+  }
+  return c.bcast(v, 0);
+}
+
+}  // namespace esamr::serve

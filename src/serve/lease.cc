@@ -1,0 +1,33 @@
+#include "serve/lease.h"
+
+#include <cassert>
+
+namespace esamr::serve {
+
+RankPool::RankPool(int total) : busy_(static_cast<std::size_t>(total), false), free_(total) {
+  assert(total >= 0);
+}
+
+std::vector<int> RankPool::acquire(int n) {
+  std::vector<int> slots;
+  if (n <= 0 || n > free_) return slots;
+  slots.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < total() && static_cast<int>(slots.size()) < n; ++s) {
+    if (!busy_[static_cast<std::size_t>(s)]) {
+      busy_[static_cast<std::size_t>(s)] = true;
+      slots.push_back(s);
+    }
+  }
+  free_ -= n;
+  return slots;
+}
+
+void RankPool::release(const std::vector<int>& slots) {
+  for (const int s : slots) {
+    assert(s >= 0 && s < total() && busy_[static_cast<std::size_t>(s)]);
+    busy_[static_cast<std::size_t>(s)] = false;
+  }
+  free_ += static_cast<int>(slots.size());
+}
+
+}  // namespace esamr::serve

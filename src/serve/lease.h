@@ -1,0 +1,39 @@
+// The shared rank pool the serving layer leases from.
+//
+// Pool slots are *capacity tokens*, not threads: ranks in this runtime are
+// threads spawned fresh by every par::run, so a lease does not pin a job to
+// particular hardware — it bounds how much of the machine's rank budget the
+// job's world may occupy. Slot ids still matter for observability: a job
+// resumed on a different slot set after preemption is a visible migration,
+// and the per-job reports record the slots of every lease.
+//
+// RankPool does no locking of its own; the Scheduler serialises all access
+// under its mutex. Slots are handed out lowest-id-first, so the slot history
+// of a run is a pure function of the acquire/release order (deterministic
+// dispatch tests rely on that).
+#pragma once
+
+#include <vector>
+
+namespace esamr::serve {
+
+class RankPool {
+ public:
+  explicit RankPool(int total);
+
+  int total() const { return static_cast<int>(busy_.size()); }
+  int free_count() const { return free_; }
+
+  /// Lease `n` slots (lowest free ids first). Returns the slot ids, or an
+  /// empty vector — leasing nothing — when fewer than `n` are free.
+  std::vector<int> acquire(int n);
+
+  /// Return previously acquired slots to the pool.
+  void release(const std::vector<int>& slots);
+
+ private:
+  std::vector<bool> busy_;
+  int free_ = 0;
+};
+
+}  // namespace esamr::serve

@@ -1,0 +1,57 @@
+// Serving-layer workloads: supervised SPMD bodies whose answer is invariant
+// under everything the scheduler may do to them.
+//
+// ring_u64 is the forest-backed u64 workload the resilience suite introduced
+// (tests/test_resil.cc): a state word advanced per step from global,
+// partition-independent quantities — each rank hashes its local octants,
+// circulates partial sums around the full rank ring, cross-checks the wrapped
+// total against an allreduce, and folds it into the state. The state is
+// checkpointed on the job's cadence and restored elastically, so the final
+// digest is a pure function of (workload_seed, steps): independent of the
+// rank count, of suspend/resume boundaries, of recovery-ladder repairs, and
+// of which pool slots the job ran on. That digest is the serving layer's
+// correctness oracle — every supervised, preempted, migrated, or
+// fault-recovered run must reproduce its solo fault-free value bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "par/stats.h"
+#include "resil/supervisor.h"
+#include "serve/job.h"
+
+namespace esamr::serve {
+
+/// Build the supervised SPMD body for `spec`. On every attempt the body
+/// probes the job's checkpoint ring collectively and resumes from the newest
+/// valid snapshot. After each step it polls `control` (when non-null): a
+/// suspend request commits a checkpoint and throws resil::Suspended; a
+/// deadline overrun throws par::TimeoutError inside the job's own world.
+/// On completion rank 0 stores the digest through `digest_out`.
+resil::SupervisedBody make_body(const JobSpec& spec, const JobControl* control,
+                                std::uint64_t* digest_out);
+
+/// A fault-free single-tenant reference run.
+struct SoloRun {
+  std::uint64_t digest = 0;
+  /// Per-rank comm-op counts (the unit InjectConfig::kill_after_ops is
+  /// denominated in), for placing deterministic kills mid-run.
+  std::vector<std::uint64_t> ops;
+};
+
+/// Run `spec` fault-free at `p` ranks with a fresh ring in `dir` and return
+/// its digest and per-rank op counts. The digest is the oracle every served
+/// run of the same (workload_seed, steps) must match at any rank count.
+SoloRun solo_run(const JobSpec& spec, int p, const std::string& dir);
+
+/// Comm operations counted toward the kill budget (sends, recvs, collectives).
+std::uint64_t ops_of(const par::CommStats& st);
+
+/// First seed in [1, 10000) for which exactly one rank of `nranks` is a kill
+/// victim at kill_rank_stride == nranks; stores the victim and returns the
+/// seed, or returns 0 when no such seed exists below the bound.
+std::uint64_t pick_single_victim_seed(int nranks, int* victim);
+
+}  // namespace esamr::serve

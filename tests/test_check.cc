@@ -224,9 +224,19 @@ TEST_P(CheckRanks, TagCycleIsDiagnosedBeforeTimeout) {
   });
   const double elapsed = par::wall_seconds() - t0;
   EXPECT_EQ(err.kind(), check::Violation::deadlock);
-  // All ranks are stuck: the two cycle members plus every barrier waiter.
-  ASSERT_EQ(err.ranks().size(), static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) EXPECT_EQ(err.ranks()[static_cast<std::size_t>(r)], r);
+  // Every reported rank is genuinely stuck: the two cycle members always,
+  // plus every barrier waiter that had *blocked* by diagnosis time. Under a
+  // loaded scheduler (TSan, saturated CI) the checker may prove the cycle
+  // stuck before the last barrier waiters even arrive, so the report is a
+  // sorted subset of [0, p) containing at least {0, 1} — not always all p.
+  ASSERT_GE(err.ranks().size(), 2u);
+  EXPECT_LE(err.ranks().size(), static_cast<std::size_t>(p));
+  EXPECT_EQ(err.ranks()[0], 0);
+  EXPECT_EQ(err.ranks()[1], 1);
+  for (std::size_t i = 1; i < err.ranks().size(); ++i) {
+    EXPECT_LT(err.ranks()[i - 1], err.ranks()[i]);
+    EXPECT_LT(err.ranks()[i], p);
+  }
   const std::string what = err.what();
   EXPECT_NE(what.find("tag=7"), std::string::npos) << what;
   EXPECT_NE(what.find("tag=9"), std::string::npos) << what;
